@@ -1,0 +1,1 @@
+bin/minicc.ml: Arg Cmd Cmdliner Filename In_channel List Minic Option Out_channel Printf String Term Wasm

@@ -1,0 +1,1 @@
+bin/walirun.ml: Apps Arg Cmd Cmdliner Filename In_channel Kernel List Printf String Term Wali Wasm

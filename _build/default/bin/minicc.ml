@@ -1,0 +1,55 @@
+(* minicc — the toolchain CLI: compile MiniC to the WALI Wasm target (or
+   the RV32 guest image), the clang-target analogue.
+
+     dune exec bin/minicc.exe -- prog.mc -o prog.wasm
+     dune exec bin/minicc.exe -- --target rv32 prog.mc -o prog.img
+     dune exec bin/minicc.exe -- --manifest prog.mc      # syscall manifest *)
+
+open Cmdliner
+
+let compile file target out manifest no_libc =
+  let src = In_channel.with_open_bin file In_channel.input_all in
+  match target with
+  | "wasm" ->
+      let binary = Minic.to_wasm_binary ~with_libc:(not no_libc) src in
+      if manifest then begin
+        let m = Wasm.Binary.decode binary in
+        List.iter
+          (fun (i : Wasm.Ast.import) ->
+            if i.Wasm.Ast.imp_module = "wali" then
+              print_endline i.Wasm.Ast.imp_name)
+          m.Wasm.Ast.imports
+      end
+      else begin
+        let out = Option.value out ~default:(Filename.remove_extension file ^ ".wasm") in
+        Out_channel.with_open_bin out (fun oc -> Out_channel.output_string oc binary);
+        Printf.printf "wrote %s (%d bytes)\n" out (String.length binary)
+      end;
+      0
+  | "rv32" ->
+      let p = if no_libc then Minic.parse src else Minic.parse_with_libc src in
+      let img = Minic.Mc_rv.compile p in
+      let out = Option.value out ~default:(Filename.remove_extension file ^ ".rv32") in
+      Out_channel.with_open_bin out (fun oc ->
+          Out_channel.output_string oc img.Minic.Mc_rv.rv_code);
+      Printf.printf "wrote %s (code %d bytes, entry 0x%x, data %d bytes)\n" out
+        (String.length img.Minic.Mc_rv.rv_code)
+        img.Minic.Mc_rv.rv_entry
+        (String.length img.Minic.Mc_rv.rv_data);
+      0
+  | t ->
+      Printf.eprintf "unknown target %s (wasm|rv32)\n" t;
+      2
+
+let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mc")
+let target = Arg.(value & opt string "wasm" & info [ "target" ] ~doc:"wasm or rv32.")
+let out = Arg.(value & opt (some string) None & info [ "o"; "output" ])
+let manifest = Arg.(value & flag & info [ "manifest" ] ~doc:"Print the syscall manifest.")
+let no_libc = Arg.(value & flag & info [ "no-libc" ] ~doc:"Compile without the bundled libc.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "minicc" ~doc:"MiniC compiler for the wasm32-wali-linux and rv32 targets")
+    Term.(const compile $ file $ target $ out $ manifest $ no_libc)
+
+let () = exit (Cmd.eval' cmd)

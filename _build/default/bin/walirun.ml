@@ -1,0 +1,93 @@
+(* walirun — the `iwasm`-style CLI: run a .wasm WALI binary (or a bundled
+   suite app) on the engine over a freshly booted simulated kernel.
+
+     dune exec bin/walirun.exe -- --app minish -- -c "echo hi"
+     dune exec bin/walirun.exe -- program.wasm arg1 arg2
+     WALI_VERBOSE-style tracing: --trace; policies: --deny read,write *)
+
+open Cmdliner
+
+let run_cmd file app trace deny poll args =
+  (* with --app, every positional is an application argument *)
+  let file, args =
+    match app with
+    | Some _ -> (None, (match file with Some f -> f :: args | None -> args))
+    | None -> (file, args)
+  in
+  let binary =
+    match (file, app) with
+    | Some f, _ -> In_channel.with_open_bin f In_channel.input_all
+    | None, Some name -> (
+        match Apps.Suite.find name with
+        | Some a -> Apps.Suite.binary_of a
+        | None ->
+            Printf.eprintf "unknown app %s; available: %s\n" name
+              (String.concat ", "
+                 (List.map (fun a -> a.Apps.Suite.a_name) Apps.Suite.all));
+            exit 2)
+    | None, None ->
+        prerr_endline "need a .wasm file or --app NAME";
+        exit 2
+  in
+  let tracer = Wali.Strace.create ~verbose:trace () in
+  let policy = Wali.Seccomp.allow_all () in
+  List.iter (fun name -> Wali.Seccomp.deny policy name ()) deny;
+  let poll_scheme =
+    match poll with
+    | "none" -> Wasm.Code.Poll_none
+    | "funcs" -> Wasm.Code.Poll_funcs
+    | "every" -> Wasm.Code.Poll_every
+    | _ -> Wasm.Code.Poll_loops
+  in
+  let argv0 =
+    match (file, app) with
+    | Some f, _ -> Filename.basename f
+    | _, Some a -> a
+    | _ -> "wasm"
+  in
+  let kernel = Kernel.Task.boot () in
+  (match app with
+  | Some name -> (
+      match Apps.Suite.find name with
+      | Some a -> a.Apps.Suite.a_setup kernel
+      | None -> ())
+  | None -> ());
+  let status, out, result =
+    Wali.Interface.run_program ~kernel ~trace:tracer ~policy ~poll_scheme
+      ~binary ~argv:(argv0 :: args) ~env:[ "HOME=/home/user"; "TERM=vt100" ] ()
+  in
+  print_string out;
+  (match result with
+  | Some (Wasm.Interp.R_trap msg) -> Printf.eprintf "trap: %s\n" msg
+  | _ -> ());
+  if trace then begin
+    Printf.eprintf "--- syscall profile ---\n";
+    List.iter
+      (fun (n, c) -> Printf.eprintf "%6d %s\n" c n)
+      (Wali.Strace.profile tracer)
+  end;
+  exit (status lsr 8)
+
+let file_t =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE.wasm")
+
+let args_t = Arg.(value & pos_right 0 string [] & info [] ~docv:"ARGS")
+
+let app_t =
+  Arg.(value & opt (some string) None & info [ "app" ] ~doc:"Run a bundled suite application.")
+
+let trace_t =
+  Arg.(value & flag & info [ "trace"; "t" ] ~doc:"Print each syscall (WALI_VERBOSE).")
+
+let deny_t =
+  Arg.(value & opt (list string) [] & info [ "deny" ] ~doc:"Deny these syscalls (seccomp-like policy).")
+
+let poll_t =
+  Arg.(value & opt string "loops" & info [ "poll" ] ~doc:"Safepoint scheme: none|loops|funcs|every.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "walirun" ~doc:"Run WebAssembly binaries over the WALI kernel interface")
+    Term.(const run_cmd $ file_t $ app_t $ trace_t $ deny_t $ poll_t $ args_t)
+
+let () = exit (Cmd.eval cmd)

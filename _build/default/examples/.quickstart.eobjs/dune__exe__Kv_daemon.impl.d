@@ -1,0 +1,1 @@
+examples/kv_daemon.ml: Apps List Printf String Wali

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Minic Printf String Wali Wasm

@@ -1,0 +1,1 @@
+examples/shell_pipeline.ml: Apps List Printf String Wali

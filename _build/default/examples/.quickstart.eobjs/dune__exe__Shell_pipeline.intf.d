@@ -1,0 +1,1 @@
+examples/shell_pipeline.mli:

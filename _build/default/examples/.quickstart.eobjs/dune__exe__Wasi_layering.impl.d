@@ -1,0 +1,1 @@
+examples/wasi_layering.ml: Array Ast Binary Builder Int32 List Printf String Types Wasi Wasm

@@ -1,0 +1,1 @@
+examples/wasi_layering.mli:

@@ -1,0 +1,1 @@
+examples/zephyr_blinky.ml: Binary Builder Char Int32 Int64 List Printf String Types Wasm Wazi Zephyr

@@ -1,0 +1,1 @@
+examples/zephyr_blinky.mli:

@@ -1,0 +1,1 @@
+lib/apps/suite.ml: App_calc App_kvd App_minidb App_minish App_misc Hashtbl Kernel List Minic Option String Wali Wasm

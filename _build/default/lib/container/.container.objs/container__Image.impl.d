@@ -1,0 +1,1 @@
+lib/container/image.ml: List String

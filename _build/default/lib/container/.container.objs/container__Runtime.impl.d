@@ -1,0 +1,1 @@
+lib/container/runtime.ml: Bytebuf Bytes Hashtbl Image Kernel List String Task Vfs

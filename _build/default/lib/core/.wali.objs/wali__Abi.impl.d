@@ -1,0 +1,1 @@
+lib/core/abi.ml: Buffer Bytes Char Int32 Int64 Kernel List Rt String Wasm

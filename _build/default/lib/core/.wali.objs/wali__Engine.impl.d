@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Binary Code Hashtbl Int32 Interp Kernel Link List Mmap_mgr Rt Seccomp Sigset Strace Task Values Wasm

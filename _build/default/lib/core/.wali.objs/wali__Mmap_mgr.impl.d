@@ -1,0 +1,1 @@
+lib/core/mmap_mgr.ml: Bytes Kernel List Rt Types Wasm

@@ -1,0 +1,1 @@
+lib/core/seccomp.ml: Hashtbl Kernel List Option

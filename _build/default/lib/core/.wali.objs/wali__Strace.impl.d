@@ -1,0 +1,1 @@
+lib/core/strace.ml: Hashtbl Int64 List Printf String

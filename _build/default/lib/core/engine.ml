@@ -1,0 +1,253 @@
+(** The WALI engine: process/thread model (1-to-1, instance-per-thread),
+    virtual signal delivery at safepoints, and process lifecycle
+    (paper §3.1, §3.3).
+
+    Each WALI process is one kernel task running one explicit-state Wasm
+    machine on its own fiber. Threads share the process image (memory,
+    mmap manager, sigactions) but get their own machine — the engine-side
+    equivalent of instance-per-thread, since all per-thread execution
+    state (value stack, call frames) lives in the machine. *)
+
+open Wasm
+
+(* Raised out of the interpreter at a safepoint when a fatal signal or an
+   exit_group from a sibling thread terminates the task. Not a Wasm trap:
+   it deliberately unwinds the whole machine run. *)
+exception Killed_by of int (* packed wait status *)
+
+type pshared = {
+  ps_mmap : Mmap_mgr.t;
+  mutable ps_argv : string array;
+  mutable ps_env : string array;
+  ps_mem_id : int; (* futex address-space id *)
+  mutable ps_brk : int;
+  ps_heap_base : int;
+  ps_binary : string; (* the loaded .wasm image, for diagnostics *)
+}
+
+type proc = {
+  pr_task : Kernel.Task.t;
+  pr_sys : Kernel.Syscalls.ctx;
+  mutable pr_shared : pshared;
+  mutable pr_machine : Rt.machine option;
+  mutable pr_result : Interp.run_result option; (* set when the task ends *)
+}
+
+type t = {
+  kernel : Kernel.Task.kernel;
+  futexes : Kernel.Futex.t;
+  trace : Strace.t;
+  mutable policy : Seccomp.t;
+  mutable poll_scheme : Code.poll_scheme;
+  procs : (int, proc) Hashtbl.t; (* task tid -> proc *)
+  mutable next_mem_id : int;
+  mutable live_procs : int;
+  mutable on_proc_exit : (proc -> int -> unit) option;
+}
+
+let create ?(poll_scheme = Code.Poll_loops) ?(trace = Strace.create ())
+    ?(policy = Seccomp.allow_all ()) (kernel : Kernel.Task.kernel) : t =
+  {
+    kernel;
+    futexes = Kernel.Futex.create ();
+    trace;
+    policy;
+    poll_scheme;
+    procs = Hashtbl.create 16;
+    next_mem_id = 1;
+    live_procs = 0;
+    on_proc_exit = None;
+  }
+
+let fresh_mem_id eng =
+  let id = eng.next_mem_id in
+  eng.next_mem_id <- id + 1;
+  id
+
+let proc_of eng (m : Rt.machine) : proc =
+  match Hashtbl.find_opt eng.procs m.Rt.m_pid with
+  | Some p -> p
+  | None -> Values.trap "no WALI process for machine (pid %d)" m.Rt.m_pid
+
+let find_proc eng tid = Hashtbl.find_opt eng.procs tid
+
+let register_proc eng (p : proc) =
+  Hashtbl.replace eng.procs p.pr_task.Kernel.Task.tid p;
+  eng.live_procs <- eng.live_procs + 1
+
+(* ------------------------------------------------------------------ *)
+(* Virtual signal delivery at safepoints (paper §3.3, Fig 5)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolve a registered handler (a Wasm function-pointer, i.e. an index
+   into table 0) to a callable function. *)
+let handler_func (inst : Rt.instance) idx : Rt.func_inst option =
+  if Array.length inst.Rt.i_tables = 0 then None
+  else
+    match Rt.Table.get inst.Rt.i_tables.(0) idx with
+    | Some fidx -> Some inst.Rt.i_funcs.(fidx)
+    | None -> None
+    | exception Values.Trap _ -> None
+
+(** Deliver every currently-deliverable signal on machine [m]. Handlers
+    run re-entrantly on the interrupted machine (sig_poll in Fig 5);
+    default dispositions terminate via [Killed_by]. *)
+let rec deliver_signals eng (p : proc) (m : Rt.machine) : unit =
+  let task = p.pr_task in
+  (match task.Kernel.Task.group.Kernel.Task.exiting with
+  | Some status -> raise (Killed_by status)
+  | None -> ());
+  if Kernel.Task.has_deliverable_signal task then begin
+    match Kernel.Task.next_signal task with
+    | None -> ()
+    | Some (signo, action) ->
+        let open Kernel.Ktypes in
+        if action.sa_handler = sig_ign then deliver_signals eng p m
+        else if action.sa_handler = sig_dfl then begin
+          match default_disposition signo with
+          | Ign | Cont -> deliver_signals eng p m
+          | Stop -> deliver_signals eng p m (* job control simplified *)
+          | Term | Core -> raise (Killed_by (wsignal_status signo))
+        end
+        else begin
+          (* Run the registered Wasm handler with the mask discipline:
+             block the signal itself (unless SA_NODEFER) plus sa_mask for
+             the duration — nested delivery therefore defers identical
+             signals, the stack-based structure of §3.3. *)
+          match handler_func m.Rt.m_inst action.sa_handler with
+          | None ->
+              (* dangling function pointer: treat as default Term *)
+              raise (Killed_by (wsignal_status signo))
+          | Some f ->
+              let old_mask = task.Kernel.Task.sigmask in
+              let block =
+                if action.sa_flags land sa_nodefer <> 0 then action.sa_mask
+                else Sigset.add action.sa_mask signo
+              in
+              task.Kernel.Task.sigmask <- Sigset.union old_mask block;
+              let result = Interp.call_nested m f [ Values.I32 (Int32.of_int signo) ] in
+              task.Kernel.Task.sigmask <- old_mask;
+              (match result with
+              | Interp.R_done _ -> ()
+              | Interp.R_trap msg ->
+                  Values.trap "trap in signal handler: %s" msg
+              | Interp.R_exit _ -> () (* unreachable: exits raise *));
+              (* more signals may have arrived meanwhile *)
+              deliver_signals eng p m
+        end
+  end
+
+let poll_hook eng : Rt.machine -> unit =
+ fun m ->
+  let p = proc_of eng m in
+  deliver_signals eng p m
+
+(* ------------------------------------------------------------------ *)
+(* Image construction                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Compile and instantiate a Wasm binary as a fresh process image. *)
+let build_image eng ~(resolver : Link.resolver) ~(binary : string)
+    ~(name : string) : Rt.instance =
+  ignore eng;
+  let m = Binary.decode ~name binary in
+  let cm = Code.compile_module ~poll:eng.poll_scheme m in
+  let inst, start = Link.instantiate ~name resolver cm in
+  (match start with
+  | Some _ -> () (* start functions run on first invoke by convention *)
+  | None -> ());
+  inst
+
+let heap_base_of (inst : Rt.instance) : int =
+  match Rt.export_opt inst "__heap_base" with
+  | Some (Rt.E_global g) -> (
+      match Rt.Global.get g with
+      | Values.I32 v -> Int32.to_int v
+      | _ -> 1 lsl 20)
+  | _ -> 1 lsl 20
+
+let make_pshared eng ~(inst : Rt.instance) ~argv ~env ~binary : pshared =
+  let heap_base = heap_base_of inst in
+  {
+    ps_mmap = Mmap_mgr.create ~heap_base;
+    ps_argv = Array.of_list argv;
+    ps_env = Array.of_list env;
+    ps_mem_id = fresh_mem_id eng;
+    ps_brk = Mmap_mgr.align_up heap_base;
+    ps_heap_base = heap_base;
+    ps_binary = binary;
+  }
+
+(** Open the console on fds 0,1,2 of a task (for the initial process). *)
+let setup_stdio eng (task : Kernel.Task.t) =
+  let ctx = Kernel.Syscalls.make_ctx eng.kernel task eng.futexes in
+  let open_tty flags =
+    match
+      Kernel.Syscalls.openat ctx ~dirfd:Kernel.Syscalls.at_fdcwd
+        ~path:"/dev/console" ~flags ~mode:0
+    with
+    | Ok fd -> fd
+    | Error e -> failwith ("setup_stdio: " ^ Kernel.Errno.to_string e)
+  in
+  ignore (open_tty Kernel.Ktypes.o_rdonly);
+  ignore (open_tty Kernel.Ktypes.o_wronly);
+  ignore (open_tty Kernel.Ktypes.o_wronly)
+
+(* ------------------------------------------------------------------ *)
+(* Task completion                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Tear the task down with a packed wait status, propagating exit_group
+   to sibling threads. *)
+let do_exit eng (p : proc) ~(status : int) : unit =
+  let open Kernel in
+  let task = p.pr_task in
+  let is_group_leader = task.Task.tid = task.Task.tgid in
+  if is_group_leader then begin
+    (* exit_group semantics: take the rest of the thread group down. *)
+    task.Task.group.Task.exiting <- Some status;
+    List.iter
+      (fun (sib : Task.t) ->
+        if sib != task then
+          match !(sib.Task.intr) with Some wake -> wake () | None -> ())
+      task.Task.group.Task.threads
+  end;
+  Task.exit_task eng.kernel task ~status;
+  eng.live_procs <- eng.live_procs - 1;
+  (match eng.on_proc_exit with
+  | Some f -> f p status
+  | None -> ());
+  Hashtbl.remove eng.procs task.Task.tid
+
+(** The body that every process/thread fiber runs. Wasm traps terminate
+    the process like fatal signals (SIGILL-style status), which is how
+    e.g. call_indirect signature violations surface. *)
+let run_machine_body eng (p : proc) (m : Rt.machine) ~fresh_entry
+    ~(entry : Rt.func_inst option) ~(args : Values.value list) : unit =
+  let outcome =
+    try
+      `Result
+        (if fresh_entry then
+           match entry with
+           | Some f -> Interp.invoke m f args
+           | None -> Interp.R_trap "no entry function"
+         else Interp.resume m ~results:0)
+    with Killed_by status -> `Killed status
+  in
+  match outcome with
+  | `Killed status ->
+      p.pr_result <- Some (Interp.R_exit (status lsr 8));
+      do_exit eng p ~status
+  | `Result r ->
+      p.pr_result <- Some r;
+      let status =
+        let open Kernel.Ktypes in
+        match r with
+        | Interp.R_done _ -> wexit_status 0
+        | Interp.R_exit code -> wexit_status code
+        | Interp.R_trap _ -> wsignal_status Kernel.Ktypes.sigill
+      in
+      do_exit eng p ~status
+
+(** Result of the last finished process with pid [tid], if tracked. *)
+let result_of (p : proc) = p.pr_result

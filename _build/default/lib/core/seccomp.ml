@@ -1,0 +1,52 @@
+(** seccomp-like dynamic syscall policies, layered entirely in user space
+    above the kernel interface (paper §3.6 "Dynamic Policies").
+
+    Because WALI syscalls are name-bound, policies are ISA-agnostic and
+    can be expressed against names rather than numbers. Policies compose:
+    the most specific rule wins, then the default applies. *)
+
+type verdict =
+  | Allow
+  | Deny of Kernel.Errno.t (* fail the call with an errno *)
+  | Kill (* terminate the process, like SECCOMP_RET_KILL *)
+
+type rule = { r_name : string; r_verdict : verdict }
+
+type t = {
+  mutable rules : rule list;
+  mutable default : verdict;
+  mutable hits : (string, int) Hashtbl.t; (* denied-call accounting *)
+}
+
+let allow_all () = { rules = []; default = Allow; hits = Hashtbl.create 8 }
+
+(** A default-deny policy seeded with an allowlist, the shape used by
+    gVisor/Nabla-style secure containers. *)
+let allowlist names =
+  {
+    rules = List.map (fun n -> { r_name = n; r_verdict = Allow }) names;
+    default = Deny Kernel.Errno.EPERM;
+    hits = Hashtbl.create 8;
+  }
+
+let deny t name ?(errno = Kernel.Errno.EPERM) () =
+  t.rules <- { r_name = name; r_verdict = Deny errno } :: t.rules
+
+let kill_on t name = t.rules <- { r_name = name; r_verdict = Kill } :: t.rules
+
+let check t name : verdict =
+  let v =
+    match List.find_opt (fun r -> r.r_name = name) t.rules with
+    | Some r -> r.r_verdict
+    | None -> t.default
+  in
+  (match v with
+  | Allow -> ()
+  | Deny _ | Kill ->
+      Hashtbl.replace t.hits name
+        (1 + Option.value (Hashtbl.find_opt t.hits name) ~default:0));
+  v
+
+let denied_counts t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.hits []
+  |> List.sort compare

@@ -1,0 +1,57 @@
+(** Syscall tracing and profiling (the WALI_VERBOSE analogue, and the
+    data source for the Fig 2 syscall profile). *)
+
+type record = {
+  mutable calls : int;
+  mutable errors : int;
+  mutable ns : int64; (* total time in the WALI layer + kernel *)
+}
+
+type t = {
+  counts : (string, record) Hashtbl.t;
+  mutable verbose : bool;
+  mutable log : (string -> unit) option;
+  mutable total : int;
+}
+
+let create ?(verbose = false) () =
+  { counts = Hashtbl.create 64; verbose; log = None; total = 0 }
+
+let record_of t name =
+  match Hashtbl.find_opt t.counts name with
+  | Some r -> r
+  | None ->
+      let r = { calls = 0; errors = 0; ns = 0L } in
+      Hashtbl.replace t.counts name r;
+      r
+
+let note t ~pid ~name ~args ~(result : int64) ~ns =
+  let r = record_of t name in
+  r.calls <- r.calls + 1;
+  if Int64.compare result 0L < 0 then r.errors <- r.errors + 1;
+  r.ns <- Int64.add r.ns ns;
+  t.total <- t.total + 1;
+  if t.verbose then begin
+    let line =
+      Printf.sprintf "[%d] %s(%s) = %Ld" pid name
+        (String.concat ", " (List.map Int64.to_string args))
+        result
+    in
+    match t.log with Some f -> f line | None -> prerr_endline line
+  end
+
+(** (name, calls) sorted by frequency, most frequent first. *)
+let profile t : (string * int) list =
+  Hashtbl.fold (fun name r acc -> (name, r.calls) :: acc) t.counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let unique_syscalls t = Hashtbl.length t.counts
+
+let total_calls t = t.total
+
+let total_ns t =
+  Hashtbl.fold (fun _ r acc -> Int64.add acc r.ns) t.counts 0L
+
+let reset t =
+  Hashtbl.reset t.counts;
+  t.total <- 0

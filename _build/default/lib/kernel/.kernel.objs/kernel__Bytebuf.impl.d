@@ -1,0 +1,1 @@
+lib/kernel/bytebuf.ml: Bytes String

@@ -1,0 +1,1 @@
+lib/kernel/fdtab.ml: Array Errno Option Pipe Socket Vfs

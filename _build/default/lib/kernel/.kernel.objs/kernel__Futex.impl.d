@@ -1,0 +1,1 @@
+lib/kernel/futex.ml: Errno Hashtbl Waitq

@@ -1,0 +1,1 @@
+lib/kernel/ktypes.ml: Int64 Printf

@@ -1,0 +1,1 @@
+lib/kernel/pipe.ml: Bytes Errno Ktypes Waitq

@@ -1,0 +1,1 @@
+lib/kernel/socket.ml: Errno Hashtbl Ktypes List Option Pipe Printf Queue Waitq

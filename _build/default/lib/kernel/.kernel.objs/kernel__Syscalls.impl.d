@@ -1,0 +1,1 @@
+lib/kernel/syscalls.ml: Array Bytebuf Bytes Char Errno Fdtab Fiber Filename Futex Hashtbl Int64 Ktypes List Option Pipe Result Sigset Socket String Task Vfs Waitq

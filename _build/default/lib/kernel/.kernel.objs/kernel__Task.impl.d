@@ -1,0 +1,1 @@
+lib/kernel/task.ml: Array Buffer Bytes Char Errno Fdtab Fiber Hashtbl Int64 Ktypes List Pipe Printf Sigset Socket String Vfs Waitq

@@ -1,0 +1,1 @@
+lib/kernel/vfs.ml: Bytebuf Bytes Errno Fiber Hashtbl Int64 Ktypes List Pipe String

@@ -1,0 +1,1 @@
+lib/kernel/waitq.ml: Fiber Int64 List

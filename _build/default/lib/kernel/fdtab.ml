@@ -1,0 +1,136 @@
+(** Open file descriptions and per-process fd tables. *)
+
+type desc_kind =
+  | F_inode of Vfs.inode (* regular file or directory *)
+  | F_gen of string (* snapshot of a generated /proc node *)
+  | F_pipe_r of Pipe.t
+  | F_pipe_w of Pipe.t
+  | F_fifo of Pipe.t * bool * bool (* pipe, has_read_end, has_write_end *)
+  | F_chardev of Vfs.chardev
+  | F_sock of Socket.t
+
+type desc = {
+  d_kind : desc_kind;
+  mutable d_pos : int;
+  mutable d_flags : int; (* O_* status flags *)
+  mutable d_refs : int;
+  d_path : string; (* best-effort origin path, for /proc/self/fd + strace *)
+  mutable d_dir_cookie : int; (* getdents position *)
+}
+
+type entry = { mutable e_desc : desc; mutable e_cloexec : bool }
+
+type t = {
+  mutable slots : entry option array;
+  mutable max_fds : int;
+}
+
+let create ?(max_fds = 1024) () =
+  { slots = Array.make 64 None; max_fds }
+
+let mk_desc ?(flags = 0) ?(path = "") kind =
+  { d_kind = kind; d_pos = 0; d_flags = flags; d_refs = 1; d_path = path;
+    d_dir_cookie = 0 }
+
+let incref d = d.d_refs <- d.d_refs + 1
+
+(** Release one reference; when it drops to zero, tear down the kernel
+    object behind the description. *)
+let release ?(sock_registry : Socket.registry option) d =
+  d.d_refs <- d.d_refs - 1;
+  if d.d_refs = 0 then
+    match d.d_kind with
+    | F_pipe_r p -> Pipe.drop_reader p
+    | F_pipe_w p -> Pipe.drop_writer p
+    | F_fifo (p, r, w) ->
+        if r then Pipe.drop_reader p;
+        if w then Pipe.drop_writer p
+    | F_sock s -> (
+        match sock_registry with
+        | Some reg -> Socket.close reg s
+        | None -> ())
+    | F_inode _ | F_gen _ | F_chardev _ -> ()
+
+let get (t : t) fd : desc option =
+  if fd < 0 || fd >= Array.length t.slots then None
+  else Option.map (fun e -> e.e_desc) t.slots.(fd)
+
+let get_entry (t : t) fd : entry option =
+  if fd < 0 || fd >= Array.length t.slots then None else t.slots.(fd)
+
+let ensure_capacity t n =
+  if n >= Array.length t.slots then begin
+    let a = Array.make (max (2 * Array.length t.slots) (n + 1)) None in
+    Array.blit t.slots 0 a 0 (Array.length t.slots);
+    t.slots <- a
+  end
+
+(** Install [d] at the lowest free slot >= [from]. *)
+let install ?(from = 0) ?(cloexec = false) (t : t) d : (int, Errno.t) result =
+  let rec find i =
+    if i >= t.max_fds then Error Errno.EMFILE
+    else begin
+      ensure_capacity t i;
+      match t.slots.(i) with
+      | None ->
+          t.slots.(i) <- Some { e_desc = d; e_cloexec = cloexec };
+          Ok i
+      | Some _ -> find (i + 1)
+    end
+  in
+  find from
+
+(** dup2 semantics: close whatever is at [fd], install [d] there. *)
+let install_at ?(cloexec = false) ?sock_registry (t : t) fd d :
+    (int, Errno.t) result =
+  if fd < 0 || fd >= t.max_fds then Error Errno.EBADF
+  else begin
+    ensure_capacity t fd;
+    (match t.slots.(fd) with
+    | Some e -> release ?sock_registry e.e_desc
+    | None -> ());
+    t.slots.(fd) <- Some { e_desc = d; e_cloexec = cloexec };
+    Ok fd
+  end
+
+let close ?sock_registry (t : t) fd : (unit, Errno.t) result =
+  match get_entry t fd with
+  | None -> Error Errno.EBADF
+  | Some e ->
+      t.slots.(fd) <- None;
+      release ?sock_registry e.e_desc;
+      Ok ()
+
+let close_all ?sock_registry (t : t) =
+  Array.iteri
+    (fun i e ->
+      match e with
+      | Some e ->
+          t.slots.(i) <- None;
+          release ?sock_registry e.e_desc
+      | None -> ())
+    t.slots
+
+let close_cloexec ?sock_registry (t : t) =
+  Array.iteri
+    (fun i e ->
+      match e with
+      | Some e when e.e_cloexec ->
+          t.slots.(i) <- None;
+          release ?sock_registry e.e_desc
+      | _ -> ())
+    t.slots
+
+(** Fork: new table sharing the open file descriptions. *)
+let clone (t : t) : t =
+  let slots =
+    Array.map
+      (Option.map (fun e ->
+           incref e.e_desc;
+           { e_desc = e.e_desc; e_cloexec = e.e_cloexec }))
+      t.slots
+  in
+  { slots; max_fds = t.max_fds }
+
+let count (t : t) =
+  Array.fold_left (fun n e -> if e = None then n else n + 1) 0 t.slots

@@ -1,0 +1,1 @@
+lib/minic/minic.ml: Mc_ast Mc_check Mc_lexer Mc_native Mc_parser Mc_rv Mc_stdlib Mc_wasm Wasm

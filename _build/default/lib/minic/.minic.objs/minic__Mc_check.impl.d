@@ -1,0 +1,1 @@
+lib/minic/mc_check.ml: Hashtbl List Mc_ast Option

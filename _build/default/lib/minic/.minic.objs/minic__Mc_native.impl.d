@@ -1,0 +1,1 @@
+lib/minic/mc_native.ml: Array Bytes Hashtbl Int32 List Mc_ast Mc_check Mc_wasm Option String Wasm

@@ -1,0 +1,1 @@
+lib/minic/mc_rv.ml: Bytes Hashtbl Int32 List Mc_ast Mc_check Option Printf Riscv String

@@ -1,0 +1,1 @@
+lib/minic/mc_wasm.ml: Builder Bytes Hashtbl Int32 List Mc_ast Mc_check Option String Types Wasm

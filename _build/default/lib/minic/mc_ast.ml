@@ -1,0 +1,80 @@
+(** MiniC: a small C-like systems language.
+
+    MiniC plays the role of the paper's C toolchain: one source program
+    compiles unchanged to (a) Wasm importing the name-bound WALI
+    interface, (b) RV32 with the Linux ecall ABI (the QEMU-baseline
+    guest), and (c) host closures calling the kernel directly (the
+    native baseline) — the "recompile against the syscall ABI and it
+    just works" porting story.
+
+    Restrictions vs C: no address-of (use globals, global arrays or
+    malloc), no structs (pointer arithmetic instead), int is 32-bit,
+    char is a byte. [syscall("name", ...)] is the primitive the libc
+    wraps; [fnptr(f)] yields a function pointer (a table index). *)
+
+type ty = TInt | TChar | TPtr of ty | TVoid
+
+let rec string_of_ty = function
+  | TInt -> "int"
+  | TChar -> "char"
+  | TVoid -> "void"
+  | TPtr t -> string_of_ty t ^ "*"
+
+let size_of = function TChar -> 1 | TInt | TPtr _ -> 4 | TVoid -> 0
+
+(* element size for pointer arithmetic / indexing *)
+let elem_size = function TPtr t -> size_of t | _ -> 1
+
+type unop = Neg | Not | Bnot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr | Band | Bor | Bxor
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or (* short-circuit *)
+
+type expr =
+  | EInt of int
+  | EStr of string
+  | EVar of string
+  | ECall of string * expr list
+  | ESyscall of string * expr list
+  | EBuiltin of string * expr list (* argc(), argv_copy(..), thread_spawn(..) *)
+  | EFnptr of string
+  | EUnop of unop * expr
+  | EBinop of binop * expr * expr
+  | EAssign of expr * expr (* lvalue = rvalue *)
+  | EIndex of expr * expr
+  | EDeref of expr
+  | ECast of ty * expr
+  | ECond of expr * expr * expr
+  | ESizeof of ty
+
+type stmt =
+  | SExpr of expr
+  | SDecl of ty * string * expr option
+  | SIf of expr * stmt list * stmt list
+  | SWhile of expr * stmt list
+  | SFor of stmt option * expr option * expr option * stmt list
+  | SReturn of expr option
+  | SBreak
+  | SContinue
+  | SBlock of stmt list
+
+type func = {
+  fn_name : string;
+  fn_ret : ty;
+  fn_params : (ty * string) list;
+  fn_body : stmt list;
+}
+
+type glob =
+  | GVar of ty * string * int option (* scalar global, optional const init *)
+  | GArr of ty * string * int (* element type, name, count *)
+  | GFunc of func
+
+type program = glob list
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt

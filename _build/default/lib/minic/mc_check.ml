@@ -1,0 +1,253 @@
+(** MiniC type checking and the expression-typing oracle shared by the
+    three code generators. char is unsigned and promotes to int in
+    arithmetic; pointer arithmetic scales by element size. *)
+
+open Mc_ast
+
+type fsig = { fs_ret : ty; fs_params : ty list }
+
+type env = {
+  globals : (string, ty) Hashtbl.t; (* arrays appear as TPtr elem *)
+  funcs : (string, fsig) Hashtbl.t;
+}
+
+let builtin_sigs : (string * fsig) list =
+  [
+    ("argc", { fs_ret = TInt; fs_params = [] });
+    ("argv_len", { fs_ret = TInt; fs_params = [ TInt ] });
+    ("argv_copy", { fs_ret = TInt; fs_params = [ TPtr TChar; TInt ] });
+    ("envc", { fs_ret = TInt; fs_params = [] });
+    ("env_len", { fs_ret = TInt; fs_params = [ TInt ] });
+    ("env_copy", { fs_ret = TInt; fs_params = [ TPtr TChar; TInt ] });
+    ("thread_spawn", { fs_ret = TInt; fs_params = [ TInt; TInt ] });
+    (* calli/memcopy/memfill are variadic-ish; checked structurally *)
+  ]
+
+let build_env (p : program) : env =
+  let env = { globals = Hashtbl.create 32; funcs = Hashtbl.create 32 } in
+  List.iter
+    (function
+      | GVar (t, n, _) ->
+          if Hashtbl.mem env.globals n then error "duplicate global %s" n;
+          Hashtbl.replace env.globals n t
+      | GArr (t, n, sz) ->
+          if sz <= 0 then error "array %s: bad size" n;
+          if Hashtbl.mem env.globals n then error "duplicate global %s" n;
+          Hashtbl.replace env.globals n (TPtr t)
+      | GFunc f ->
+          if Hashtbl.mem env.funcs f.fn_name then
+            error "duplicate function %s" f.fn_name;
+          Hashtbl.replace env.funcs f.fn_name
+            { fs_ret = f.fn_ret; fs_params = List.map fst f.fn_params })
+    p;
+  env
+
+(* Structural compatibility for assignment/args: int~char, any pointer
+   converts to any pointer (explicit casts are available but not
+   required — MiniC is a systems language, not a proof assistant). *)
+let compatible a b =
+  match (a, b) with
+  | TVoid, _ | _, TVoid -> false
+  | (TInt | TChar), (TInt | TChar) -> true
+  | TPtr _, TPtr _ -> true
+  | (TInt | TChar), TPtr _ | TPtr _, (TInt | TChar) -> true
+
+let rec ty_of (lookup : string -> ty) (env : env) (e : expr) : ty =
+  match e with
+  | EInt _ -> TInt
+  | EStr _ -> TPtr TChar
+  | EVar n -> lookup n
+  | ECall (f, _) -> (
+      match Hashtbl.find_opt env.funcs f with
+      | Some s -> s.fs_ret
+      | None -> error "call to undefined function %s" f)
+  | ESyscall _ -> TInt
+  | EFnptr _ -> TInt
+  | EBuiltin (("memcopy" | "memfill"), _) -> TVoid
+  | EBuiltin (b, _) -> (
+      match List.assoc_opt b builtin_sigs with
+      | Some s -> s.fs_ret
+      | None -> TInt (* calli *))
+  | EUnop (_, _) -> TInt
+  | EBinop ((Add | Sub), a, b) -> (
+      let ta = ty_of lookup env a and tb = ty_of lookup env b in
+      match (ta, tb) with
+      | TPtr _, _ -> ta
+      | _, TPtr _ -> tb
+      | _ -> TInt)
+  | EBinop (_, _, _) -> TInt
+  | EAssign (l, _) -> ty_of lookup env l
+  | EIndex (p, _) -> (
+      match ty_of lookup env p with
+      | TPtr t -> t
+      | _ -> error "indexing a non-pointer")
+  | EDeref p -> (
+      match ty_of lookup env p with
+      | TPtr t -> t
+      | _ -> error "dereferencing a non-pointer")
+  | ECast (t, _) -> t
+  | ECond (_, a, _) -> ty_of lookup env a
+  | ESizeof _ -> TInt
+
+(* Full checking pass: variable scoping, arity, lvalues, break/continue
+   placement, return types. *)
+let check_func (env : env) (f : func) : unit =
+  let scopes : (string * ty) list ref = ref [] in
+  let push_scope () =
+    let saved = !scopes in
+    fun () -> scopes := saved
+  in
+  let declare n t =
+    if List.mem_assoc n !scopes then error "%s: duplicate local %s" f.fn_name n;
+    scopes := (n, t) :: !scopes
+  in
+  let lookup n =
+    match List.assoc_opt n !scopes with
+    | Some t -> t
+    | None -> (
+        match Hashtbl.find_opt env.globals n with
+        | Some t -> t
+        | None -> error "%s: undefined variable %s" f.fn_name n)
+  in
+  let rec expr (e : expr) : ty =
+    match e with
+    | EInt _ | EStr _ | ESizeof _ -> ty_of lookup env e
+    | EVar n -> lookup n
+    | EFnptr fn ->
+        if not (Hashtbl.mem env.funcs fn) then
+          error "%s: fnptr of undefined function %s" f.fn_name fn;
+        TInt
+    | ECall (fn, args) -> (
+        match Hashtbl.find_opt env.funcs fn with
+        | None -> error "%s: call to undefined function %s" f.fn_name fn
+        | Some s ->
+            if List.length args <> List.length s.fs_params then
+              error "%s: %s expects %d args, got %d" f.fn_name fn
+                (List.length s.fs_params) (List.length args);
+            List.iter2
+              (fun a pt ->
+                let at = expr a in
+                if not (compatible at pt) then
+                  error "%s: argument type mismatch in call to %s (%s vs %s)"
+                    f.fn_name fn (string_of_ty at) (string_of_ty pt))
+              args s.fs_params;
+            s.fs_ret)
+    | ESyscall (_, args) ->
+        if List.length args > 6 then error "%s: syscall with >6 args" f.fn_name;
+        List.iter (fun a -> ignore (expr a)) args;
+        TInt
+    | EBuiltin (b, args) -> (
+        List.iter (fun a -> ignore (expr a)) args;
+        match b with
+        | "calli" ->
+            if args = [] then error "%s: calli needs a target" f.fn_name;
+            TInt
+        | "memcopy" | "memfill" ->
+            if List.length args <> 3 then
+              error "%s: %s needs 3 args" f.fn_name b;
+            TVoid
+        | b -> (
+            match List.assoc_opt b builtin_sigs with
+            | Some s ->
+                if List.length args <> List.length s.fs_params then
+                  error "%s: %s arity" f.fn_name b;
+                s.fs_ret
+            | None -> error "%s: unknown builtin %s" f.fn_name b))
+    | EUnop (_, a) ->
+        ignore (expr a);
+        TInt
+    | EBinop ((And | Or), a, b) ->
+        ignore (expr a);
+        ignore (expr b);
+        TInt
+    | EBinop (op, a, b) -> (
+        let ta = expr a and tb = expr b in
+        match (op, ta, tb) with
+        | (Add | Sub), TPtr _, (TInt | TChar) -> ta
+        | Add, (TInt | TChar), TPtr _ -> tb
+        | Sub, TPtr _, TPtr _ -> TInt (* pointer difference, in elements *)
+        | _, (TInt | TChar), (TInt | TChar) -> TInt
+        | _, TPtr _, _ | _, _, TPtr _ ->
+            (* comparisons of pointers are fine *)
+            if List.mem op [ Eq; Ne; Lt; Le; Gt; Ge ] then TInt
+            else error "%s: invalid pointer arithmetic" f.fn_name
+        | _ -> error "%s: type error in binary op" f.fn_name)
+    | EAssign (l, r) ->
+        let lt = lvalue l in
+        let rt = expr r in
+        if not (compatible lt rt) then
+          error "%s: assignment type mismatch (%s = %s)" f.fn_name
+            (string_of_ty lt) (string_of_ty rt);
+        lt
+    | EIndex (p, i) -> (
+        let pt = expr p in
+        ignore (expr i);
+        match pt with
+        | TPtr t -> t
+        | _ -> error "%s: indexing non-pointer" f.fn_name)
+    | EDeref p -> (
+        match expr p with
+        | TPtr t -> t
+        | _ -> error "%s: dereferencing non-pointer" f.fn_name)
+    | ECast (t, a) ->
+        ignore (expr a);
+        t
+    | ECond (c, a, b) ->
+        ignore (expr c);
+        let ta = expr a and tb = expr b in
+        if not (compatible ta tb) then error "%s: ternary arms differ" f.fn_name;
+        ta
+  and lvalue (e : expr) : ty =
+    match e with
+    | EVar n -> lookup n
+    | EIndex _ | EDeref _ -> expr e
+    | _ -> error "%s: not an lvalue" f.fn_name
+  in
+  let rec stmt ~in_loop (s : stmt) : unit =
+    match s with
+    | SExpr e -> ignore (expr e)
+    | SDecl (t, n, init) ->
+        if t = TVoid then error "%s: void variable %s" f.fn_name n;
+        (match init with
+        | Some e ->
+            let et = expr e in
+            if not (compatible t et) then
+              error "%s: init type mismatch for %s" f.fn_name n
+        | None -> ());
+        declare n t
+    | SIf (c, t, e) ->
+        ignore (expr c);
+        block ~in_loop t;
+        block ~in_loop e
+    | SWhile (c, b) ->
+        ignore (expr c);
+        block ~in_loop:true b
+    | SFor (init, cond, step, b) ->
+        let pop = push_scope () in
+        Option.iter (stmt ~in_loop) init;
+        Option.iter (fun e -> ignore (expr e)) cond;
+        Option.iter (fun e -> ignore (expr e)) step;
+        block ~in_loop:true b;
+        pop ()
+    | SReturn None ->
+        if f.fn_ret <> TVoid then error "%s: missing return value" f.fn_name
+    | SReturn (Some e) ->
+        let t = expr e in
+        if f.fn_ret = TVoid then error "%s: returning value from void" f.fn_name
+        else if not (compatible t f.fn_ret) then
+          error "%s: return type mismatch" f.fn_name
+    | SBreak | SContinue ->
+        if not in_loop then error "%s: break/continue outside loop" f.fn_name
+    | SBlock b -> block ~in_loop b
+  and block ~in_loop (b : stmt list) : unit =
+    let pop = push_scope () in
+    List.iter (stmt ~in_loop) b;
+    pop ()
+  in
+  List.iter (fun (t, n) -> declare n t) f.fn_params;
+  block ~in_loop:false f.fn_body
+
+let check (p : program) : env =
+  let env = build_env p in
+  List.iter (function GFunc f -> check_func env f | GVar _ | GArr _ -> ()) p;
+  env

@@ -1,0 +1,177 @@
+(** MiniC lexer. *)
+
+type token =
+  | INT of int
+  | STR of string
+  | CHAR of int
+  | IDENT of string
+  | KW of string (* int char void if else while for return break continue sizeof *)
+  | PUNCT of string (* operators and punctuation *)
+  | EOF
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable tok : token;
+  mutable tok_line : int;
+}
+
+let keywords =
+  [ "int"; "char"; "void"; "if"; "else"; "while"; "for"; "return"; "break";
+    "continue"; "sizeof" ]
+
+let fail lx fmt =
+  Printf.ksprintf (fun s -> Mc_ast.error "line %d: %s" lx.tok_line s) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident c = is_ident_start c || is_digit c
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some ('\n') ->
+      lx.line <- lx.line + 1;
+      lx.pos <- lx.pos + 1;
+      skip_ws lx
+  | Some (' ' | '\t' | '\r') ->
+      lx.pos <- lx.pos + 1;
+      skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+      while lx.pos < String.length lx.src && lx.src.[lx.pos] <> '\n' do
+        lx.pos <- lx.pos + 1
+      done;
+      skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '*' ->
+      lx.pos <- lx.pos + 2;
+      let rec go () =
+        if lx.pos + 1 >= String.length lx.src then Mc_ast.error "unterminated comment"
+        else if lx.src.[lx.pos] = '*' && lx.src.[lx.pos + 1] = '/' then lx.pos <- lx.pos + 2
+        else begin
+          if lx.src.[lx.pos] = '\n' then lx.line <- lx.line + 1;
+          lx.pos <- lx.pos + 1;
+          go ()
+        end
+      in
+      go ();
+      skip_ws lx
+  | _ -> ()
+
+let escape lx c =
+  match c with
+  | 'n' -> 10
+  | 't' -> 9
+  | 'r' -> 13
+  | '0' -> 0
+  | '\\' -> 92
+  | '\'' -> 39
+  | '"' -> 34
+  | c -> fail lx "bad escape \\%c" c
+
+let scan lx : token =
+  skip_ws lx;
+  lx.tok_line <- lx.line;
+  match peek_char lx with
+  | None -> EOF
+  | Some c when is_ident_start c ->
+      let start = lx.pos in
+      while lx.pos < String.length lx.src && is_ident lx.src.[lx.pos] do
+        lx.pos <- lx.pos + 1
+      done;
+      let s = String.sub lx.src start (lx.pos - start) in
+      if List.mem s keywords then KW s else IDENT s
+  | Some c when is_digit c ->
+      let start = lx.pos in
+      if c = '0' && lx.pos + 1 < String.length lx.src
+         && (lx.src.[lx.pos + 1] = 'x' || lx.src.[lx.pos + 1] = 'X')
+      then begin
+        lx.pos <- lx.pos + 2;
+        while
+          lx.pos < String.length lx.src
+          && (is_digit lx.src.[lx.pos]
+             || (Char.lowercase_ascii lx.src.[lx.pos] >= 'a'
+                && Char.lowercase_ascii lx.src.[lx.pos] <= 'f'))
+        do
+          lx.pos <- lx.pos + 1
+        done;
+        INT (int_of_string (String.sub lx.src start (lx.pos - start)))
+      end
+      else begin
+        while lx.pos < String.length lx.src && is_digit lx.src.[lx.pos] do
+          lx.pos <- lx.pos + 1
+        done;
+        INT (int_of_string (String.sub lx.src start (lx.pos - start)))
+      end
+  | Some '"' ->
+      lx.pos <- lx.pos + 1;
+      let b = Buffer.create 16 in
+      let rec go () =
+        if lx.pos >= String.length lx.src then fail lx "unterminated string"
+        else
+          match lx.src.[lx.pos] with
+          | '"' -> lx.pos <- lx.pos + 1
+          | '\\' ->
+              lx.pos <- lx.pos + 1;
+              Buffer.add_char b (Char.chr (escape lx lx.src.[lx.pos]));
+              lx.pos <- lx.pos + 1;
+              go ()
+          | c ->
+              Buffer.add_char b c;
+              lx.pos <- lx.pos + 1;
+              go ()
+      in
+      go ();
+      STR (Buffer.contents b)
+  | Some '\'' ->
+      lx.pos <- lx.pos + 1;
+      let v =
+        match lx.src.[lx.pos] with
+        | '\\' ->
+            lx.pos <- lx.pos + 1;
+            let v = escape lx lx.src.[lx.pos] in
+            lx.pos <- lx.pos + 1;
+            v
+        | c ->
+            lx.pos <- lx.pos + 1;
+            Char.code c
+      in
+      if lx.pos >= String.length lx.src || lx.src.[lx.pos] <> '\'' then
+        fail lx "unterminated char literal";
+      lx.pos <- lx.pos + 1;
+      CHAR v
+  | Some _ ->
+      let two =
+        if lx.pos + 1 < String.length lx.src then String.sub lx.src lx.pos 2
+        else ""
+      in
+      if List.mem two [ "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||"; "+="; "-=" ]
+      then begin
+        lx.pos <- lx.pos + 2;
+        PUNCT two
+      end
+      else begin
+        let c = lx.src.[lx.pos] in
+        lx.pos <- lx.pos + 1;
+        PUNCT (String.make 1 c)
+      end
+
+let create src =
+  let lx = { src; pos = 0; line = 1; tok = EOF; tok_line = 1 } in
+  lx.tok <- scan lx;
+  lx
+
+let token lx = lx.tok
+let line lx = lx.tok_line
+
+let advance lx = lx.tok <- scan lx
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | STR s -> Printf.sprintf "%S" s
+  | CHAR c -> Printf.sprintf "'%c'" (Char.chr c)
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"

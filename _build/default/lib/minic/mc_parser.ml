@@ -1,0 +1,390 @@
+(** MiniC recursive-descent parser. *)
+
+open Mc_ast
+open Mc_lexer
+
+let expect lx (t : token) =
+  if token lx = t then advance lx
+  else
+    fail lx "expected %s, found %s" (token_to_string t)
+      (token_to_string (token lx))
+
+let expect_punct lx s = expect lx (PUNCT s)
+
+let parse_ident lx =
+  match token lx with
+  | IDENT s ->
+      advance lx;
+      s
+  | t -> fail lx "expected identifier, found %s" (token_to_string t)
+
+(* type = ("int" | "char" | "void") "*"* *)
+let parse_base_ty lx : ty =
+  match token lx with
+  | KW "int" -> advance lx; TInt
+  | KW "char" -> advance lx; TChar
+  | KW "void" -> advance lx; TVoid
+  | t -> fail lx "expected type, found %s" (token_to_string t)
+
+let rec parse_ptr lx base =
+  if token lx = PUNCT "*" then begin
+    advance lx;
+    parse_ptr lx (TPtr base)
+  end
+  else base
+
+let parse_ty lx = parse_ptr lx (parse_base_ty lx)
+
+let looks_like_type lx =
+  match token lx with KW ("int" | "char" | "void") -> true | _ -> false
+
+(* Expression parsing: precedence climbing. *)
+
+let binop_of = function
+  | "*" -> Some (Mul, 10) | "/" -> Some (Div, 10) | "%" -> Some (Mod, 10)
+  | "+" -> Some (Add, 9) | "-" -> Some (Sub, 9)
+  | "<<" -> Some (Shl, 8) | ">>" -> Some (Shr, 8)
+  | "<" -> Some (Lt, 7) | "<=" -> Some (Le, 7)
+  | ">" -> Some (Gt, 7) | ">=" -> Some (Ge, 7)
+  | "==" -> Some (Eq, 6) | "!=" -> Some (Ne, 6)
+  | "&" -> Some (Band, 5)
+  | "^" -> Some (Bxor, 4)
+  | "|" -> Some (Bor, 3)
+  | "&&" -> Some (And, 2)
+  | "||" -> Some (Or, 1)
+  | _ -> None
+
+let rec parse_expr lx : expr = parse_assign lx
+
+and parse_assign lx : expr =
+  let lhs = parse_cond lx in
+  match token lx with
+  | PUNCT "=" ->
+      advance lx;
+      EAssign (lhs, parse_assign lx)
+  | PUNCT "+=" ->
+      advance lx;
+      EAssign (lhs, EBinop (Add, lhs, parse_assign lx))
+  | PUNCT "-=" ->
+      advance lx;
+      EAssign (lhs, EBinop (Sub, lhs, parse_assign lx))
+  | _ -> lhs
+
+and parse_cond lx : expr =
+  let c = parse_binary lx 1 in
+  if token lx = PUNCT "?" then begin
+    advance lx;
+    let t = parse_expr lx in
+    expect_punct lx ":";
+    let e = parse_cond lx in
+    ECond (c, t, e)
+  end
+  else c
+
+and parse_binary lx min_prec : expr =
+  let lhs = ref (parse_unary lx) in
+  let rec go () =
+    match token lx with
+    | PUNCT p -> (
+        match binop_of p with
+        | Some (op, prec) when prec >= min_prec ->
+            advance lx;
+            let rhs = parse_binary lx (prec + 1) in
+            lhs := EBinop (op, !lhs, rhs);
+            go ()
+        | _ -> ())
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_unary lx : expr =
+  match token lx with
+  | PUNCT "-" ->
+      advance lx;
+      EUnop (Neg, parse_unary lx)
+  | PUNCT "!" ->
+      advance lx;
+      EUnop (Not, parse_unary lx)
+  | PUNCT "~" ->
+      advance lx;
+      EUnop (Bnot, parse_unary lx)
+  | PUNCT "*" ->
+      advance lx;
+      EDeref (parse_unary lx)
+  | PUNCT "(" when is_cast lx -> (
+      advance lx;
+      let t = parse_ty lx in
+      expect_punct lx ")";
+      ECast (t, parse_unary lx))
+  | KW "sizeof" ->
+      advance lx;
+      expect_punct lx "(";
+      let t = parse_ty lx in
+      expect_punct lx ")";
+      ESizeof t
+  | _ -> parse_postfix lx
+
+(* Peek whether "(" starts a cast: "(" followed by a type keyword. *)
+and is_cast lx =
+  (* cheap lookahead: save lexer state *)
+  let save_pos = lx.Mc_lexer.pos and save_tok = lx.Mc_lexer.tok and save_line = lx.Mc_lexer.line in
+  advance lx;
+  let r = looks_like_type lx in
+  lx.Mc_lexer.pos <- save_pos;
+  lx.Mc_lexer.tok <- save_tok;
+  lx.Mc_lexer.line <- save_line;
+  r
+
+and parse_postfix lx : expr =
+  let e = ref (parse_primary lx) in
+  let rec go () =
+    match token lx with
+    | PUNCT "[" ->
+        advance lx;
+        let i = parse_expr lx in
+        expect_punct lx "]";
+        e := EIndex (!e, i);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !e
+
+and parse_args lx : expr list =
+  expect_punct lx "(";
+  if token lx = PUNCT ")" then begin
+    advance lx;
+    []
+  end
+  else begin
+    let rec go acc =
+      let a = parse_expr lx in
+      match token lx with
+      | PUNCT "," ->
+          advance lx;
+          go (a :: acc)
+      | _ ->
+          expect_punct lx ")";
+          List.rev (a :: acc)
+    in
+    go []
+  end
+
+and parse_primary lx : expr =
+  match token lx with
+  | INT n ->
+      advance lx;
+      EInt n
+  | CHAR c ->
+      advance lx;
+      EInt c
+  | STR s ->
+      advance lx;
+      EStr s
+  | PUNCT "(" ->
+      advance lx;
+      let e = parse_expr lx in
+      expect_punct lx ")";
+      e
+  | IDENT "syscall" -> (
+      advance lx;
+      match parse_args lx with
+      | EStr name :: rest -> ESyscall (name, rest)
+      | _ -> fail lx "syscall requires a string-literal name")
+  | IDENT "fnptr" -> (
+      advance lx;
+      match parse_args lx with
+      | [ EVar f ] -> EFnptr f
+      | _ -> fail lx "fnptr requires a function name")
+  | IDENT (("argc" | "argv_len" | "argv_copy" | "envc" | "env_len"
+           | "env_copy" | "thread_spawn" | "calli" | "memcopy" | "memfill")
+           as b)
+    when (let save_pos = lx.Mc_lexer.pos and save_tok = lx.Mc_lexer.tok in
+          advance lx;
+          let is_call = token lx = PUNCT "(" in
+          lx.Mc_lexer.pos <- save_pos;
+          lx.Mc_lexer.tok <- save_tok;
+          is_call) ->
+      advance lx;
+      EBuiltin (b, parse_args lx)
+  | IDENT name ->
+      advance lx;
+      if token lx = PUNCT "(" then ECall (name, parse_args lx) else EVar name
+  | t -> fail lx "unexpected token %s" (token_to_string t)
+
+(* Statements *)
+
+let rec parse_stmt lx : stmt =
+  match token lx with
+  | PUNCT "{" -> SBlock (parse_block lx)
+  | KW "if" ->
+      advance lx;
+      expect_punct lx "(";
+      let c = parse_expr lx in
+      expect_punct lx ")";
+      let t = parse_stmt_as_block lx in
+      let e =
+        if token lx = KW "else" then begin
+          advance lx;
+          parse_stmt_as_block lx
+        end
+        else []
+      in
+      SIf (c, t, e)
+  | KW "while" ->
+      advance lx;
+      expect_punct lx "(";
+      let c = parse_expr lx in
+      expect_punct lx ")";
+      SWhile (c, parse_stmt_as_block lx)
+  | KW "for" ->
+      advance lx;
+      expect_punct lx "(";
+      let init =
+        if token lx = PUNCT ";" then None
+        else if looks_like_type lx then begin
+          let t = parse_ty lx in
+          let n = parse_ident lx in
+          let e =
+            if token lx = PUNCT "=" then begin
+              advance lx;
+              Some (parse_expr lx)
+            end
+            else None
+          in
+          Some (SDecl (t, n, e))
+        end
+        else Some (SExpr (parse_expr lx))
+      in
+      expect_punct lx ";";
+      let cond = if token lx = PUNCT ";" then None else Some (parse_expr lx) in
+      expect_punct lx ";";
+      let step = if token lx = PUNCT ")" then None else Some (parse_expr lx) in
+      expect_punct lx ")";
+      SFor (init, cond, step, parse_stmt_as_block lx)
+  | KW "return" ->
+      advance lx;
+      if token lx = PUNCT ";" then begin
+        advance lx;
+        SReturn None
+      end
+      else begin
+        let e = parse_expr lx in
+        expect_punct lx ";";
+        SReturn (Some e)
+      end
+  | KW "break" ->
+      advance lx;
+      expect_punct lx ";";
+      SBreak
+  | KW "continue" ->
+      advance lx;
+      expect_punct lx ";";
+      SContinue
+  | KW ("int" | "char" | "void") ->
+      let t = parse_ty lx in
+      let n = parse_ident lx in
+      let init =
+        if token lx = PUNCT "=" then begin
+          advance lx;
+          Some (parse_expr lx)
+        end
+        else None
+      in
+      expect_punct lx ";";
+      SDecl (t, n, init)
+  | _ ->
+      let e = parse_expr lx in
+      expect_punct lx ";";
+      SExpr e
+
+and parse_stmt_as_block lx : stmt list =
+  match token lx with
+  | PUNCT "{" -> parse_block lx
+  | _ -> [ parse_stmt lx ]
+
+and parse_block lx : stmt list =
+  expect_punct lx "{";
+  let rec go acc =
+    if token lx = PUNCT "}" then begin
+      advance lx;
+      List.rev acc
+    end
+    else go (parse_stmt lx :: acc)
+  in
+  go []
+
+(* Top level *)
+
+let parse_program (src : string) : program =
+  let lx = create src in
+  let rec go acc =
+    match token lx with
+    | EOF -> List.rev acc
+    | _ ->
+        let t = parse_ty lx in
+        let name = parse_ident lx in
+        if token lx = PUNCT "(" then begin
+          (* function *)
+          advance lx;
+          let params =
+            if token lx = PUNCT ")" then begin
+              advance lx;
+              []
+            end
+            else begin
+              let rec ps acc =
+                let pt = parse_ty lx in
+                let pn = parse_ident lx in
+                match token lx with
+                | PUNCT "," ->
+                    advance lx;
+                    ps ((pt, pn) :: acc)
+                | _ ->
+                    expect_punct lx ")";
+                    List.rev ((pt, pn) :: acc)
+              in
+              ps []
+            end
+          in
+          let body = parse_block lx in
+          go (GFunc { fn_name = name; fn_ret = t; fn_params = params; fn_body = body } :: acc)
+        end
+        else if token lx = PUNCT "[" then begin
+          advance lx;
+          let n =
+            match token lx with
+            | INT n ->
+                advance lx;
+                n
+            | t -> fail lx "array size must be a literal, found %s" (token_to_string t)
+          in
+          expect_punct lx "]";
+          expect_punct lx ";";
+          go (GArr (t, name, n) :: acc)
+        end
+        else begin
+          let init =
+            if token lx = PUNCT "=" then begin
+              advance lx;
+              match token lx with
+              | INT n ->
+                  advance lx;
+                  Some n
+              | PUNCT "-" ->
+                  advance lx;
+                  (match token lx with
+                  | INT n ->
+                      advance lx;
+                      Some (-n)
+                  | t -> fail lx "global init must be a literal, found %s" (token_to_string t))
+              | t -> fail lx "global init must be a literal, found %s" (token_to_string t)
+            end
+            else None
+          in
+          expect_punct lx ";";
+          go (GVar (t, name, init) :: acc)
+        end
+  in
+  go []

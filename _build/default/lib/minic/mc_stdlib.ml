@@ -1,0 +1,259 @@
+(** The MiniC libc ("wali-musl"): written in MiniC against the raw
+    syscall ABI, so the same source serves all three backends — the
+    paper's porting story in miniature. Provides startup (argv/env
+    transfer per §3.4), an mmap-backed malloc (possible only because
+    WALI supports real memory mapping, §3.2), strings, stdio, process
+    and signal wrappers. *)
+
+let source =
+  {|
+// ---------------- wali-libc (MiniC) ----------------
+
+int errno;
+int __argc;
+char **__argv;
+
+int __sys(int r) {
+  if (r < 0) { errno = 0 - r; return -1; }
+  return r;
+}
+
+// ---- malloc: first-fit free list over mmap chunks ----
+// free block layout: [size:int][next:int] ; allocated: [size:int][pad]
+
+char *__flist;
+
+char *malloc(int size) {
+  if (size < 1) { size = 1; }
+  int need = ((size + 8) + 7) & ~7;
+  if (need < 16) { need = 16; }
+  char *prev = (char*)0;
+  char *cur = __flist;
+  while (cur) {
+    int csz = *(int*)cur;
+    if (csz >= need) {
+      if (csz - need >= 16) {
+        char *tail = cur + need;
+        *(int*)tail = csz - need;
+        *(int*)(tail + 4) = *(int*)(cur + 4);
+        *(int*)cur = need;
+        if (prev) { *(int*)(prev + 4) = (int)tail; } else { __flist = tail; }
+      } else {
+        if (prev) { *(int*)(prev + 4) = *(int*)(cur + 4); }
+        else { __flist = (char*)(*(int*)(cur + 4)); }
+      }
+      return cur + 8;
+    }
+    prev = cur;
+    cur = (char*)(*(int*)(cur + 4));
+  }
+  int chunk = 65536;
+  if (need > chunk) { chunk = (need + 65535) & ~65535; }
+  // mmap(0, chunk, PROT_READ|PROT_WRITE, MAP_PRIVATE|MAP_ANONYMOUS, -1, 0)
+  char *blk = (char*)syscall("mmap", 0, chunk, 3, 0x22, -1, 0);
+  if ((int)blk < 0) { return (char*)0; }
+  *(int*)blk = chunk;
+  *(int*)(blk + 4) = (int)__flist;
+  __flist = blk;
+  return malloc(size);
+}
+
+void free(char *p) {
+  if (!p) { return; }
+  char *blk = p - 8;
+  *(int*)(blk + 4) = (int)__flist;
+  __flist = blk;
+}
+
+char *realloc(char *p, int size) {
+  char *q = malloc(size);
+  if (p && q) {
+    int old = *(int*)(p - 8) - 8;
+    int n = old < size ? old : size;
+    memcopy(q, p, n);
+    free(p);
+  }
+  return q;
+}
+
+// ---- strings ----
+
+int strlen(char *s) {
+  int n = 0;
+  while (s[n]) { n = n + 1; }
+  return n;
+}
+
+int strcmp(char *a, char *b) {
+  int i = 0;
+  while (a[i] && a[i] == b[i]) { i = i + 1; }
+  return a[i] - b[i];
+}
+
+int strncmp(char *a, char *b, int n) {
+  int i = 0;
+  while (i < n && a[i] && a[i] == b[i]) { i = i + 1; }
+  if (i == n) { return 0; }
+  return a[i] - b[i];
+}
+
+void strcpy(char *d, char *s) {
+  int i = 0;
+  while (s[i]) { d[i] = s[i]; i = i + 1; }
+  d[i] = 0;
+}
+
+void strcat(char *d, char *s) { strcpy(d + strlen(d), s); }
+
+char *strdup(char *s) {
+  char *d = malloc(strlen(s) + 1);
+  strcpy(d, s);
+  return d;
+}
+
+int strchr_pos(char *s, int c) {
+  int i = 0;
+  while (s[i]) {
+    if (s[i] == c) { return i; }
+    i = i + 1;
+  }
+  return -1;
+}
+
+int atoi(char *s) {
+  int n = 0;
+  int sign = 1;
+  int i = 0;
+  while (s[i] == ' ') { i = i + 1; }
+  if (s[i] == '-') { sign = -1; i = i + 1; }
+  while (s[i] >= '0' && s[i] <= '9') {
+    n = n * 10 + (s[i] - '0');
+    i = i + 1;
+  }
+  return n * sign;
+}
+
+void memset(char *p, int c, int n) { memfill(p, c, n); }
+void memcpy(char *d, char *s, int n) { memcopy(d, s, n); }
+
+int memcmp(char *a, char *b, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    if (a[i] != b[i]) { return a[i] - b[i]; }
+  }
+  return 0;
+}
+
+// ---- stdio ----
+
+int write(int fd, char *p, int n) { return __sys(syscall("write", fd, p, n)); }
+int read(int fd, char *p, int n) { return __sys(syscall("read", fd, p, n)); }
+int open(char *path, int flags, int mode) { return __sys(syscall("open", path, flags, mode)); }
+int close(int fd) { return __sys(syscall("close", fd)); }
+int lseek(int fd, int off, int whence) { return __sys(syscall("lseek", fd, off, whence)); }
+int pread(int fd, char *p, int n, int off) { return __sys(syscall("pread64", fd, p, n, off)); }
+int pwrite(int fd, char *p, int n, int off) { return __sys(syscall("pwrite64", fd, p, n, off)); }
+int unlink(char *path) { return __sys(syscall("unlink", path)); }
+int mkdir(char *path, int mode) { return __sys(syscall("mkdir", path, mode)); }
+int rename_file(char *a, char *b) { return __sys(syscall("rename", a, b)); }
+int ftruncate(int fd, int len) { return __sys(syscall("ftruncate", fd, len)); }
+int fsync(int fd) { return __sys(syscall("fsync", fd)); }
+int chdir_to(char *p) { return __sys(syscall("chdir", p)); }
+int dup_fd(int fd) { return __sys(syscall("dup", fd)); }
+int dup2(int o, int n) { return __sys(syscall("dup2", o, n)); }
+int pipe(int *fds) { return __sys(syscall("pipe", fds)); }
+int ioctl3(int fd, int req, char *arg) { return __sys(syscall("ioctl", fd, req, arg)); }
+
+void print(char *s) { write(1, s, strlen(s)); }
+char __pcbuf[4];
+void printc(int c) { __pcbuf[0] = c; write(1, __pcbuf, 1); }
+
+char __itoabuf[36];
+char *itoa(int n) {
+  int i = 34;
+  __itoabuf[35] = 0;
+  int neg = 0;
+  if (n < 0) { neg = 1; }
+  if (n == 0) { __itoabuf[i] = '0'; return __itoabuf + 34; }
+  // handle INT_MIN via unsigned-ish trick: work on negatives
+  int m = n;
+  if (!neg) { m = -n; }
+  while (m) {
+    __itoabuf[i] = '0' - (m % 10);
+    m = m / 10;
+    i = i - 1;
+  }
+  if (neg) { __itoabuf[i] = '-'; i = i - 1; }
+  return __itoabuf + i + 1;
+}
+
+void printi(int n) { print(itoa(n)); }
+void println(char *s) { print(s); print("\n"); }
+
+// ---- process / signals ----
+
+void exit(int code) { syscall("exit_group", code); }
+int fork() { return __sys(syscall("fork")); }
+int getpid() { return __sys(syscall("getpid")); }
+int getppid() { return __sys(syscall("getppid")); }
+int waitpid(int pid, int *status, int options) {
+  return __sys(syscall("wait4", pid, status, options, 0));
+}
+int kill(int pid, int sig) { return __sys(syscall("kill", pid, sig)); }
+int execve(char *path, char **argv, char **envp) {
+  return __sys(syscall("execve", path, argv, envp));
+}
+int setpgid_self(int pgid) { return __sys(syscall("setpgid", 0, pgid)); }
+int sched_yield() { return __sys(syscall("sched_yield")); }
+
+char __sigbuf[16];
+int signal(int sig, int handler) {
+  *(int*)__sigbuf = handler;
+  *(int*)(__sigbuf + 4) = 0;
+  *(int*)(__sigbuf + 8) = 0;
+  *(int*)(__sigbuf + 12) = 0;
+  return __sys(syscall("rt_sigaction", sig, __sigbuf, 0, 16));
+}
+
+char __tsbuf[16];
+int msleep(int ms) {
+  *(int*)__tsbuf = ms / 1000;
+  *(int*)(__tsbuf + 4) = 0;
+  *(int*)(__tsbuf + 8) = (ms % 1000) * 1000000;
+  *(int*)(__tsbuf + 12) = 0;
+  return __sys(syscall("nanosleep", __tsbuf, 0));
+}
+
+char __timebuf[16];
+int monotime_us() {
+  syscall("clock_gettime", 1, __timebuf);
+  return *(int*)__timebuf * 1000000 + *(int*)(__timebuf + 8) / 1000;
+}
+
+// ---- env ----
+
+char *getenv(char *name) {
+  int n = envc();
+  for (int i = 0; i < n; i = i + 1) {
+    char *e = malloc(env_len(i));
+    env_copy(e, i);
+    int j = 0;
+    while (name[j] && e[j] == name[j]) { j = j + 1; }
+    if (!name[j] && e[j] == '=') { return e + j + 1; }
+    free(e);
+  }
+  return (char*)0;
+}
+
+// ---- startup ----
+
+void __rt_init() {
+  __argc = argc();
+  __argv = (char**)malloc((__argc + 1) * 4);
+  for (int i = 0; i < __argc; i = i + 1) {
+    char *p = malloc(argv_len(i));
+    argv_copy(p, i);
+    __argv[i] = p;
+  }
+  __argv[__argc] = (char*)0;
+}
+|}

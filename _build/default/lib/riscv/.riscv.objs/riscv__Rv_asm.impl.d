@@ -1,0 +1,1 @@
+lib/riscv/rv_asm.ml: Buffer Char Hashtbl List Sys

@@ -1,0 +1,1 @@
+lib/riscv/rv_linux.ml: Array List Rv_mach Tables

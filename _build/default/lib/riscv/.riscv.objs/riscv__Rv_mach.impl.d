@@ -1,0 +1,1 @@
+lib/riscv/rv_mach.ml: Array Int32 Int64 Printf Rv_asm Sys Wasm

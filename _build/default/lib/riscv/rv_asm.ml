@@ -1,0 +1,189 @@
+(** RV32IM assembler: symbolic instructions with labels, two-pass
+    assembly to raw machine code. The emulator decodes these words back
+    from memory on every step — the interpretive ISA-virtualization cost
+    the QEMU baseline pays. *)
+
+type reg = int (* x0..x31 *)
+
+let x0 = 0
+let ra = 1
+let sp = 2
+let s0 = 8
+let a0 = 10
+let a1 = 11
+let a2 = 12
+let a3 = 13
+let a4 = 14
+let a5 = 15
+let a7 = 17
+let t0 = 5
+let t1 = 6
+let t2 = 7
+
+type instr =
+  | Lui of reg * int (* upper 20 bits *)
+  | Addi of reg * reg * int
+  | Slti of reg * reg * int
+  | Xori of reg * reg * int
+  | Ori of reg * reg * int
+  | Andi of reg * reg * int
+  | Slli of reg * reg * int
+  | Srli of reg * reg * int
+  | Srai of reg * reg * int
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Sll of reg * reg * reg
+  | Slt of reg * reg * reg
+  | Sltu of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Srl of reg * reg * reg
+  | Sra of reg * reg * reg
+  | Or of reg * reg * reg
+  | And of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Div of reg * reg * reg
+  | Rem of reg * reg * reg
+  | Lb of reg * int * reg (* rd, offset(rs) *)
+  | Lbu of reg * int * reg
+  | Lw of reg * int * reg
+  | Sb of reg * int * reg (* rs2, offset(rs1) *)
+  | Sw of reg * int * reg
+  | Jalr of reg * reg * int
+  | Ecall
+  (* pseudo / label-based; fixed encodable sizes *)
+  | Label of string
+  | Li of reg * int (* 2 words: lui+addi *)
+  | La of reg * string (* 2 words: address of label *)
+  | Jmp of string (* jal x0, label *)
+  | Call of string (* jal ra, label *)
+  | Ret
+  | Beqz of reg * string (* 2 words: bne rs,x0,+8 ; jal x0,label *)
+  | Bnez of reg * string
+
+exception Asm_error of string
+
+let size_of = function
+  | Label _ -> 0
+  | Li _ | La _ | Beqz _ | Bnez _ -> 8
+  | _ -> 4
+
+(* --- encoders --- *)
+
+let mask n bits = n land ((1 lsl bits) - 1)
+
+let r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode =
+  (funct7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (rd lsl 7) lor opcode
+
+let i_type ~imm ~rs1 ~funct3 ~rd ~opcode =
+  (mask imm 12 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7)
+  lor opcode
+
+let s_type ~imm ~rs2 ~rs1 ~funct3 ~opcode =
+  (mask (imm asr 5) 7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15)
+  lor (funct3 lsl 12) lor (mask imm 5 lsl 7) lor opcode
+
+let b_type ~imm ~rs2 ~rs1 ~funct3 =
+  let imm12 = (imm asr 12) land 1 and imm11 = (imm asr 11) land 1 in
+  let imm10_5 = (imm asr 5) land 0x3f and imm4_1 = (imm asr 1) land 0xf in
+  (imm12 lsl 31) lor (imm10_5 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15)
+  lor (funct3 lsl 12) lor (imm4_1 lsl 8) lor (imm11 lsl 7) lor 0x63
+
+let u_type ~imm20 ~rd ~opcode = (mask imm20 20 lsl 12) lor (rd lsl 7) lor opcode
+
+let j_type ~imm ~rd =
+  let imm20 = (imm asr 20) land 1 and imm10_1 = (imm asr 1) land 0x3ff in
+  let imm11 = (imm asr 11) land 1 and imm19_12 = (imm asr 12) land 0xff in
+  (imm20 lsl 31) lor (imm10_1 lsl 21) lor (imm11 lsl 20) lor (imm19_12 lsl 12)
+  lor (rd lsl 7) lor 0x6f
+
+(* li: lui rd, hi20 ; addi rd, rd, lo12 with rounding for sign of lo12 *)
+let li_words rd v =
+  let sh = Sys.int_size - 12 in
+  let lo = ((v land 0xfff) lsl sh) asr sh in
+  let hi = (v - lo) asr 12 in
+  [ u_type ~imm20:(mask hi 20) ~rd ~opcode:0x37;
+    i_type ~imm:lo ~rs1:rd ~funct3:0 ~rd ~opcode:0x13 ]
+
+let encode_at (labels : (string, int) Hashtbl.t) (pc : int) (ins : instr) :
+    int list =
+  let target l =
+    match Hashtbl.find_opt labels l with
+    | Some a -> a
+    | None -> raise (Asm_error ("undefined label " ^ l))
+  in
+  match ins with
+  | Label _ -> []
+  | Lui (rd, imm20) -> [ u_type ~imm20 ~rd ~opcode:0x37 ]
+  | Addi (rd, rs, imm) -> [ i_type ~imm ~rs1:rs ~funct3:0 ~rd ~opcode:0x13 ]
+  | Slti (rd, rs, imm) -> [ i_type ~imm ~rs1:rs ~funct3:2 ~rd ~opcode:0x13 ]
+  | Xori (rd, rs, imm) -> [ i_type ~imm ~rs1:rs ~funct3:4 ~rd ~opcode:0x13 ]
+  | Ori (rd, rs, imm) -> [ i_type ~imm ~rs1:rs ~funct3:6 ~rd ~opcode:0x13 ]
+  | Andi (rd, rs, imm) -> [ i_type ~imm ~rs1:rs ~funct3:7 ~rd ~opcode:0x13 ]
+  | Slli (rd, rs, sh) -> [ i_type ~imm:(sh land 31) ~rs1:rs ~funct3:1 ~rd ~opcode:0x13 ]
+  | Srli (rd, rs, sh) -> [ i_type ~imm:(sh land 31) ~rs1:rs ~funct3:5 ~rd ~opcode:0x13 ]
+  | Srai (rd, rs, sh) ->
+      [ i_type ~imm:((sh land 31) lor 0x400) ~rs1:rs ~funct3:5 ~rd ~opcode:0x13 ]
+  | Add (rd, a, b) -> [ r_type ~funct7:0 ~rs2:b ~rs1:a ~funct3:0 ~rd ~opcode:0x33 ]
+  | Sub (rd, a, b) -> [ r_type ~funct7:0x20 ~rs2:b ~rs1:a ~funct3:0 ~rd ~opcode:0x33 ]
+  | Sll (rd, a, b) -> [ r_type ~funct7:0 ~rs2:b ~rs1:a ~funct3:1 ~rd ~opcode:0x33 ]
+  | Slt (rd, a, b) -> [ r_type ~funct7:0 ~rs2:b ~rs1:a ~funct3:2 ~rd ~opcode:0x33 ]
+  | Sltu (rd, a, b) -> [ r_type ~funct7:0 ~rs2:b ~rs1:a ~funct3:3 ~rd ~opcode:0x33 ]
+  | Xor (rd, a, b) -> [ r_type ~funct7:0 ~rs2:b ~rs1:a ~funct3:4 ~rd ~opcode:0x33 ]
+  | Srl (rd, a, b) -> [ r_type ~funct7:0 ~rs2:b ~rs1:a ~funct3:5 ~rd ~opcode:0x33 ]
+  | Sra (rd, a, b) -> [ r_type ~funct7:0x20 ~rs2:b ~rs1:a ~funct3:5 ~rd ~opcode:0x33 ]
+  | Or (rd, a, b) -> [ r_type ~funct7:0 ~rs2:b ~rs1:a ~funct3:6 ~rd ~opcode:0x33 ]
+  | And (rd, a, b) -> [ r_type ~funct7:0 ~rs2:b ~rs1:a ~funct3:7 ~rd ~opcode:0x33 ]
+  | Mul (rd, a, b) -> [ r_type ~funct7:1 ~rs2:b ~rs1:a ~funct3:0 ~rd ~opcode:0x33 ]
+  | Div (rd, a, b) -> [ r_type ~funct7:1 ~rs2:b ~rs1:a ~funct3:4 ~rd ~opcode:0x33 ]
+  | Rem (rd, a, b) -> [ r_type ~funct7:1 ~rs2:b ~rs1:a ~funct3:6 ~rd ~opcode:0x33 ]
+  | Lb (rd, off, rs) -> [ i_type ~imm:off ~rs1:rs ~funct3:0 ~rd ~opcode:0x03 ]
+  | Lbu (rd, off, rs) -> [ i_type ~imm:off ~rs1:rs ~funct3:4 ~rd ~opcode:0x03 ]
+  | Lw (rd, off, rs) -> [ i_type ~imm:off ~rs1:rs ~funct3:2 ~rd ~opcode:0x03 ]
+  | Sb (rs2, off, rs1) -> [ s_type ~imm:off ~rs2 ~rs1 ~funct3:0 ~opcode:0x23 ]
+  | Sw (rs2, off, rs1) -> [ s_type ~imm:off ~rs2 ~rs1 ~funct3:2 ~opcode:0x23 ]
+  | Jalr (rd, rs, imm) -> [ i_type ~imm ~rs1:rs ~funct3:0 ~rd ~opcode:0x67 ]
+  | Ecall -> [ 0x73 ]
+  | Li (rd, v) -> li_words rd v
+  | La (rd, l) -> li_words rd (target l)
+  | Jmp l -> [ j_type ~imm:(target l - pc) ~rd:x0 ]
+  | Call l -> [ j_type ~imm:(target l - pc) ~rd:ra ]
+  | Ret -> [ i_type ~imm:0 ~rs1:ra ~funct3:0 ~rd:x0 ~opcode:0x67 ]
+  | Beqz (rs, l) ->
+      (* bne rs, x0, +8 ; jal x0, label *)
+      [ b_type ~imm:8 ~rs2:x0 ~rs1:rs ~funct3:1;
+        j_type ~imm:(target l - (pc + 4)) ~rd:x0 ]
+  | Bnez (rs, l) ->
+      [ b_type ~imm:8 ~rs2:x0 ~rs1:rs ~funct3:0;
+        j_type ~imm:(target l - (pc + 4)) ~rd:x0 ]
+
+(** Assemble to (bytes, label addresses). [base] is the code load
+    address. *)
+let assemble ~(base : int) (prog : instr list) : string * (string, int) Hashtbl.t =
+  let labels = Hashtbl.create 64 in
+  (* pass 1: label addresses *)
+  let pc = ref base in
+  List.iter
+    (fun ins ->
+      (match ins with
+      | Label l ->
+          if Hashtbl.mem labels l then raise (Asm_error ("duplicate label " ^ l));
+          Hashtbl.replace labels l !pc
+      | _ -> ());
+      pc := !pc + size_of ins)
+    prog;
+  (* pass 2: encode *)
+  let buf = Buffer.create 4096 in
+  let pc = ref base in
+  List.iter
+    (fun ins ->
+      let words = encode_at labels !pc ins in
+      List.iter
+        (fun w ->
+          for i = 0 to 3 do
+            Buffer.add_char buf (Char.chr ((w lsr (8 * i)) land 0xff))
+          done)
+        words;
+      pc := !pc + size_of ins)
+    prog;
+  (Buffer.contents buf, labels)

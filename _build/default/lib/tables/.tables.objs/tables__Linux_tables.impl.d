@@ -1,0 +1,1 @@
+lib/tables/linux_tables.ml: List

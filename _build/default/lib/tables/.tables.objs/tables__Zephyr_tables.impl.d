@@ -1,0 +1,1 @@
+lib/tables/zephyr_tables.ml: List Printf

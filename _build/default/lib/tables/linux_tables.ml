@@ -1,0 +1,294 @@
+(** Linux syscall presence across ISAs.
+
+    Numbers are the x86-64 syscall numbers (the reference ABI); for
+    aarch64 and riscv64 we record *presence*, which is what both the
+    Fig 3 similarity analysis and WALI's name-bound union specification
+    (paper §3.5) need. The characteristic pattern encoded here: the
+    asm-generic ABI used by aarch64/riscv64 dropped the legacy
+    path-based calls (open, stat, access, pipe, fork, ...) in favour of
+    the *at/newer variants, and riscv64 additionally dropped a small
+    handful (e.g. renameat) that aarch64 kept. *)
+
+type entry = {
+  name : string;
+  nr_x86_64 : int;
+  on_x86_64 : bool;
+  on_aarch64 : bool;
+  on_riscv64 : bool;
+  category : string; (* file | proc | signal | mem | net | time | misc *)
+}
+
+let e ?(x86 = true) ?(a64 = true) ?(rv = true) name nr category =
+  {
+    name;
+    nr_x86_64 = nr;
+    on_x86_64 = x86;
+    on_aarch64 = a64;
+    on_riscv64 = rv;
+    category;
+  }
+
+(* legacy: x86-64 only *)
+let legacy name nr cat = e ~a64:false ~rv:false name nr cat
+
+let all : entry list =
+  [
+    e "read" 0 "file";
+    e "write" 1 "file";
+    legacy "open" 2 "file";
+    e "close" 3 "file";
+    legacy "stat" 4 "file";
+    e "fstat" 5 "file";
+    legacy "lstat" 6 "file";
+    legacy "poll" 7 "file";
+    e "lseek" 8 "file";
+    e "mmap" 9 "mem";
+    e "mprotect" 10 "mem";
+    e "munmap" 11 "mem";
+    e "brk" 12 "mem";
+    e "rt_sigaction" 13 "signal";
+    e "rt_sigprocmask" 14 "signal";
+    e "rt_sigreturn" 15 "signal";
+    e "ioctl" 16 "file";
+    e "pread64" 17 "file";
+    e "pwrite64" 18 "file";
+    e "readv" 19 "file";
+    e "writev" 20 "file";
+    legacy "access" 21 "file";
+    legacy "pipe" 22 "file";
+    legacy "select" 23 "file";
+    e "sched_yield" 24 "proc";
+    e "mremap" 25 "mem";
+    e "msync" 26 "mem";
+    e "mincore" 27 "mem";
+    e "madvise" 28 "mem";
+    legacy "dup2" 33 "file";
+    e "dup" 32 "file";
+    legacy "pause" 34 "signal";
+    e "nanosleep" 35 "time";
+    e "getitimer" 36 "time";
+    legacy "alarm" 37 "time";
+    e "setitimer" 38 "time";
+    e "getpid" 39 "proc";
+    e "sendfile" 40 "file";
+    e "socket" 41 "net";
+    e "connect" 42 "net";
+    e "accept" 43 "net";
+    e "sendto" 44 "net";
+    e "recvfrom" 45 "net";
+    e "sendmsg" 46 "net";
+    e "recvmsg" 47 "net";
+    e "shutdown" 48 "net";
+    e "bind" 49 "net";
+    e "listen" 50 "net";
+    e "getsockname" 51 "net";
+    e "getpeername" 52 "net";
+    e "socketpair" 53 "net";
+    e "setsockopt" 54 "net";
+    e "getsockopt" 55 "net";
+    e "clone" 56 "proc";
+    legacy "fork" 57 "proc";
+    legacy "vfork" 58 "proc";
+    e "execve" 59 "proc";
+    e "exit" 60 "proc";
+    e "wait4" 61 "proc";
+    e "kill" 62 "signal";
+    e "uname" 63 "misc";
+    e "fcntl" 72 "file";
+    e "flock" 73 "file";
+    e "fsync" 74 "file";
+    e "fdatasync" 75 "file";
+    e "truncate" 76 "file";
+    e "ftruncate" 77 "file";
+    legacy "getdents" 78 "file";
+    e "getcwd" 79 "file";
+    e "chdir" 80 "file";
+    e "fchdir" 81 "file";
+    legacy "rename" 82 "file";
+    legacy "mkdir" 83 "file";
+    legacy "rmdir" 84 "file";
+    legacy "creat" 85 "file";
+    legacy "link" 86 "file";
+    legacy "unlink" 87 "file";
+    legacy "symlink" 88 "file";
+    legacy "readlink" 89 "file";
+    legacy "chmod" 90 "file";
+    e "fchmod" 91 "file";
+    legacy "chown" 92 "file";
+    e "fchown" 93 "file";
+    legacy "lchown" 94 "file";
+    e "umask" 95 "proc";
+    e "gettimeofday" 96 "time";
+    e "getrlimit" 97 "proc";
+    e "getrusage" 98 "proc";
+    e "sysinfo" 99 "misc";
+    e "times" 100 "time";
+    e "getuid" 102 "proc";
+    e "getgid" 104 "proc";
+    e "setuid" 105 "proc";
+    e "setgid" 106 "proc";
+    e "geteuid" 107 "proc";
+    e "getegid" 108 "proc";
+    e "setpgid" 109 "proc";
+    e "getppid" 110 "proc";
+    legacy "getpgrp" 111 "proc";
+    e "setsid" 112 "proc";
+    e "setreuid" 113 "proc";
+    e "setregid" 114 "proc";
+    e "getgroups" 115 "proc";
+    e "setgroups" 116 "proc";
+    e "setresuid" 117 "proc";
+    e "getresuid" 118 "proc";
+    e "setresgid" 119 "proc";
+    e "getresgid" 120 "proc";
+    e "getpgid" 121 "proc";
+    e "getsid" 124 "proc";
+    e "rt_sigpending" 127 "signal";
+    e "rt_sigtimedwait" 128 "signal";
+    e "rt_sigqueueinfo" 129 "signal";
+    e "rt_sigsuspend" 130 "signal";
+    e "sigaltstack" 131 "signal";
+    legacy "utime" 132 "file";
+    legacy "mknod" 133 "file";
+    e "statfs" 137 "file";
+    e "fstatfs" 138 "file";
+    e "sched_setparam" 142 "proc";
+    e "sched_getparam" 143 "proc";
+    e "sched_setscheduler" 144 "proc";
+    e "sched_getscheduler" 145 "proc";
+    e "sched_get_priority_max" 146 "proc";
+    e "sched_get_priority_min" 147 "proc";
+    e "mlock" 149 "mem";
+    e "munlock" 150 "mem";
+    e "prctl" 157 "proc";
+    legacy "arch_prctl" 158 "proc";
+    e "setrlimit" 160 "proc";
+    e "chroot" 161 "file";
+    e "sync" 162 "file";
+    e "mount" 165 "file";
+    e "umount2" 166 "file";
+    e "sethostname" 170 "misc";
+    e "gettid" 186 "proc";
+    e "futex" 202 "proc";
+    e "sched_setaffinity" 203 "proc";
+    e "sched_getaffinity" 204 "proc";
+    legacy "epoll_create" 213 "file";
+    e "getdents64" 217 "file";
+    e "set_tid_address" 218 "proc";
+    e "fadvise64" 221 "file";
+    e "timer_create" 222 "time";
+    e "timer_settime" 223 "time";
+    e "timer_gettime" 224 "time";
+    e "timer_delete" 226 "time";
+    e "clock_settime" 227 "time";
+    e "clock_gettime" 228 "time";
+    e "clock_getres" 229 "time";
+    e "clock_nanosleep" 230 "time";
+    e "exit_group" 231 "proc";
+    legacy "epoll_wait" 232 "file";
+    e "epoll_ctl" 233 "file";
+    e "tgkill" 234 "signal";
+    legacy "utimes" 235 "file";
+    e "waitid" 247 "proc";
+    legacy "inotify_init" 253 "file";
+    e "inotify_add_watch" 254 "file";
+    e "inotify_rm_watch" 255 "file";
+    e "openat" 257 "file";
+    e "mkdirat" 258 "file";
+    e "mknodat" 259 "file";
+    e "fchownat" 260 "file";
+    legacy "futimesat" 261 "file";
+    e "newfstatat" 262 "file";
+    e "unlinkat" 263 "file";
+    (* riscv64 dropped renameat, keeping only renameat2 *)
+    e ~rv:false "renameat" 264 "file";
+    e "linkat" 265 "file";
+    e "symlinkat" 266 "file";
+    e "readlinkat" 267 "file";
+    e "fchmodat" 268 "file";
+    e "faccessat" 269 "file";
+    e "pselect6" 270 "file";
+    e "ppoll" 271 "file";
+    e "set_robust_list" 273 "proc";
+    e "get_robust_list" 274 "proc";
+    e "splice" 275 "file";
+    e "tee" 276 "file";
+    e "sync_file_range" 277 "file";
+    e "utimensat" 280 "file";
+    legacy "epoll_pwait" 281 "file";
+    legacy "signalfd" 282 "signal";
+    e "timerfd_create" 283 "time";
+    legacy "eventfd" 284 "file";
+    e "fallocate" 285 "file";
+    e "timerfd_settime" 286 "time";
+    e "timerfd_gettime" 287 "time";
+    e "accept4" 288 "net";
+    e "signalfd4" 289 "signal";
+    e "eventfd2" 290 "file";
+    e "epoll_create1" 291 "file";
+    e "dup3" 292 "file";
+    e "pipe2" 293 "file";
+    e "inotify_init1" 294 "file";
+    e "preadv" 295 "file";
+    e "pwritev" 296 "file";
+    e "rt_tgsigqueueinfo" 297 "signal";
+    e "recvmmsg" 299 "net";
+    e "prlimit64" 302 "proc";
+    e "sendmmsg" 307 "net";
+    e "getcpu" 309 "misc";
+    e "renameat2" 316 "file";
+    e "seccomp" 317 "proc";
+    e "getrandom" 318 "misc";
+    e "memfd_create" 319 "mem";
+    e "execveat" 322 "proc";
+    e "mlock2" 325 "mem";
+    e "copy_file_range" 326 "file";
+    e "preadv2" 327 "file";
+    e "pwritev2" 328 "file";
+    e "statx" 332 "file";
+    e "rseq" 334 "proc";
+    e "pidfd_send_signal" 424 "signal";
+    e "clone3" 435 "proc";
+    e "close_range" 436 "file";
+    e "openat2" 437 "file";
+    e "pidfd_getfd" 438 "file";
+    e "faccessat2" 439 "file";
+    e "process_madvise" 440 "mem";
+    e "epoll_pwait2" 441 "file";
+    e "futex_waitv" 449 "proc";
+    (* x86-64-only oddities at the tail *)
+    legacy "uselib" 134 "misc";
+    legacy "ustat" 136 "misc";
+    legacy "sysfs" 139 "misc";
+    legacy "modify_ldt" 154 "misc";
+    legacy "iopl" 172 "misc";
+    legacy "ioperm" 173 "misc";
+  ]
+
+type isa = X86_64 | Aarch64 | Riscv64
+
+let isa_name = function
+  | X86_64 -> "x86-64"
+  | Aarch64 -> "aarch64"
+  | Riscv64 -> "riscv64"
+
+let isas = [ X86_64; Aarch64; Riscv64 ]
+
+let present isa (en : entry) =
+  match isa with
+  | X86_64 -> en.on_x86_64
+  | Aarch64 -> en.on_aarch64
+  | Riscv64 -> en.on_riscv64
+
+let syscalls_of isa = List.filter (present isa) all
+
+let count isa = List.length (syscalls_of isa)
+
+(** |A ∩ B| for Fig 3. *)
+let common a b =
+  List.length (List.filter (fun en -> present a en && present b en) all)
+
+(** Union across ISAs: the WALI name-bound specification set (§3.5). *)
+let union_names () = List.map (fun en -> en.name) all
+
+let find name = List.find_opt (fun en -> en.name = name) all

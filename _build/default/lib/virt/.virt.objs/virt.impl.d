@@ -1,0 +1,1 @@
+lib/virt/virt.ml: Container Fiber Int64 Kernel Minic Monotonic_clock Native_run Rv_run String Wali Wasm

@@ -1,0 +1,1 @@
+lib/virt/native_run.ml: Array Errno Fiber Hashtbl Int32 Int64 Kernel Ktypes List Minic Sigset String Syscalls Task Wali Wasm

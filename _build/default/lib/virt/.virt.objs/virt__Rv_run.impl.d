@@ -1,0 +1,1 @@
+lib/virt/rv_run.ml: Array Errno Fiber Int64 Kernel Ktypes List Minic Native_run Printf Riscv String Task Wali Wasm

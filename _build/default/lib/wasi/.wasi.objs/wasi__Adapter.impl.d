@@ -1,0 +1,1 @@
+lib/wasi/adapter.ml: Array Ast Binary Int32 List Minic String Types Wasm

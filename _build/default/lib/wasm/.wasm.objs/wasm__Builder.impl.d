@@ -1,0 +1,1 @@
+lib/wasm/builder.ml: Array Ast Int32 List Types

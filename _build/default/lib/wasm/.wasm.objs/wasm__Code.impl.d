@@ -1,0 +1,1 @@
+lib/wasm/code.ml: Array Ast List Printf Types Values

@@ -1,0 +1,1 @@
+lib/wasm/interp.ml: Array Ast Code Convert Float Global I32_op I64_op Int32 Int64 List Machine Memory Rt Table Types Values

@@ -1,0 +1,1 @@
+lib/wasm/link.ml: Array Ast Code Global Hashtbl Int32 List Memory Option Printf Rt Table Types Values

@@ -1,0 +1,1 @@
+lib/wasm/rt.ml: Array Bytes Char Code Hashtbl List String Types Values

@@ -1,0 +1,1 @@
+lib/wasm/types.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/wasm/values.ml: Float Int32 Int64 Printf Types

@@ -1,0 +1,336 @@
+(** Runtime structures: memories, tables, globals, instances, and the
+    explicit machine state.
+
+    The machine's value stack and call frames are plain data, which is what
+    makes the WALI process model implementable: [Machine.clone] gives
+    [fork] its child image, instance-per-thread shares the {!Memory.t}
+    object, and safepoint delivery pushes a handler frame onto a live
+    machine (paper §3.1/§3.3). *)
+
+open Types
+open Values
+
+(* ------------------------------------------------------------------ *)
+(* Linear memory                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Memory = struct
+  type t = {
+    mutable data : Bytes.t;
+    mutable pages : int;
+    max_pages : int;
+  }
+
+  exception Bounds
+
+  let create ~(min_pages : int) ~(max_pages : int) =
+    {
+      data = Bytes.make (min_pages * page_size) '\000';
+      pages = min_pages;
+      max_pages;
+    }
+
+  let size_pages m = m.pages
+  let size_bytes m = m.pages * page_size
+
+  (** Grow by [n] pages; returns previous size in pages or -1 on failure
+      (Wasm memory.grow semantics). *)
+  let grow m n =
+    if n < 0 then -1
+    else
+      let old = m.pages in
+      let np = old + n in
+      if np > m.max_pages then -1
+      else begin
+        let data = Bytes.make (np * page_size) '\000' in
+        Bytes.blit m.data 0 data 0 (old * page_size);
+        m.data <- data;
+        m.pages <- np;
+        old
+      end
+
+  let check m addr len =
+    if addr < 0 || len < 0 || addr + len > size_bytes m then raise Bounds
+
+  let load8_u m a = check m a 1; Char.code (Bytes.get m.data a)
+  let load8_s m a = let v = load8_u m a in if v >= 128 then v - 256 else v
+  let load16_u m a = check m a 2; Bytes.get_uint16_le m.data a
+  let load16_s m a = check m a 2; Bytes.get_int16_le m.data a
+  let load32 m a = check m a 4; Bytes.get_int32_le m.data a
+  let load64 m a = check m a 8; Bytes.get_int64_le m.data a
+
+  let store8 m a v = check m a 1; Bytes.set_uint8 m.data a (v land 0xff)
+  let store16 m a v = check m a 2; Bytes.set_uint16_le m.data a (v land 0xffff)
+  let store32 m a v = check m a 4; Bytes.set_int32_le m.data a v
+  let store64 m a v = check m a 8; Bytes.set_int64_le m.data a v
+
+  let fill m ~dst ~byte ~len =
+    check m dst len;
+    Bytes.fill m.data dst len (Char.chr (byte land 0xff))
+
+  let copy m ~dst ~src ~len =
+    check m dst len;
+    check m src len;
+    Bytes.blit m.data src m.data dst len
+
+  let read_string m ~addr ~len =
+    check m addr len;
+    Bytes.sub_string m.data addr len
+
+  (** Read a NUL-terminated string. *)
+  let read_cstring m ~addr =
+    let limit = size_bytes m in
+    let rec find i =
+      if i >= limit then raise Bounds
+      else if Bytes.get m.data i = '\000' then i
+      else find (i + 1)
+    in
+    let e = find addr in
+    Bytes.sub_string m.data addr (e - addr)
+
+  let write_string m ~addr s =
+    check m addr (String.length s);
+    Bytes.blit_string s 0 m.data addr (String.length s)
+
+  let clone m = { m with data = Bytes.copy m.data }
+end
+
+module Table = struct
+  type t = { mutable elems : int option array; max : int option }
+  (** Entries are function addresses (indices into the owning instance's
+      function space); [None] is a null funcref. *)
+
+  let create ~(min : int) ~(max : int option) =
+    { elems = Array.make min None; max }
+
+  let size t = Array.length t.elems
+
+  let get t i =
+    if i < 0 || i >= size t then trap "undefined element" else t.elems.(i)
+
+  let set t i v =
+    if i < 0 || i >= size t then trap "table index out of bounds";
+    t.elems.(i) <- v
+end
+
+module Global = struct
+  type t = { mutable value : value; mut : mutability }
+
+  let create mut value = { value; mut }
+  let get g = g.value
+  let set g v = g.value <- v
+end
+
+(* ------------------------------------------------------------------ *)
+(* Instances, functions, machine                                        *)
+(* ------------------------------------------------------------------ *)
+
+type instance = {
+  i_name : string;
+  i_types : func_type array;
+  mutable i_funcs : func_inst array;
+  i_memories : Memory.t array;
+  i_tables : Table.t array;
+  i_globals : Global.t array;
+  i_exports : (string, extern) Hashtbl.t;
+  i_codes : Code.fcode array; (* local function bodies *)
+}
+
+and func_inst =
+  | Wasm_func of { wf_inst : instance; wf_code : Code.fcode }
+  | Host_func of { hf_name : string; hf_type : func_type; hf_fn : host_fn }
+
+and extern =
+  | E_func of func_inst
+  | E_memory of Memory.t
+  | E_table of Table.t
+  | E_global of Global.t
+
+and host_fn = machine -> value array -> host_outcome
+
+(** What a host function tells the engine loop to do. [H_fork] and
+    [H_exec] require machine surgery that only the engine loop can
+    perform (§3.1); everything else is handled inline. *)
+and host_outcome =
+  | H_return of value list
+  | H_trap of string
+  | H_exit of int
+  | H_fork of (machine -> int64) (* engine clones machine, callback returns parent's result *)
+  | H_exec of (unit -> machine) (* replace the process image *)
+
+and frame = {
+  fr_inst : instance;
+  fr_code : Code.fcode;
+  fr_locals : value array;
+  mutable fr_pc : int;
+  fr_ret_sp : int; (* value-stack height to restore on return *)
+}
+
+and machine = {
+  mutable stack : value array;
+  mutable sp : int;
+  mutable frames : frame list;
+  mutable depth : int; (* = List.length frames, kept incrementally *)
+  mutable m_inst : instance; (* root instance (the process image) *)
+  mutable steps : int64; (* executed ops, for deterministic metrics *)
+  mutable poll_hook : (machine -> unit) option;
+  mutable m_pid : int; (* owning simulated process; engine bookkeeping *)
+}
+
+let func_type_of = function
+  | Wasm_func { wf_code; _ } -> wf_code.Code.fc_type
+  | Host_func { hf_type; _ } -> hf_type
+
+let func_name_of = function
+  | Wasm_func { wf_code; _ } -> wf_code.Code.fc_name
+  | Host_func { hf_name; _ } -> hf_name
+
+module Machine = struct
+  type t = machine
+
+  let create inst =
+    {
+      stack = Array.make 256 (I32 0l);
+      sp = 0;
+      frames = [];
+      depth = 0;
+      m_inst = inst;
+      steps = 0L;
+      poll_hook = None;
+      m_pid = 0;
+    }
+
+  let push m v =
+    if m.sp = Array.length m.stack then begin
+      let s = Array.make (2 * m.sp) (I32 0l) in
+      Array.blit m.stack 0 s 0 m.sp;
+      m.stack <- s
+    end;
+    m.stack.(m.sp) <- v;
+    m.sp <- m.sp + 1
+
+  let pop m =
+    if m.sp = 0 then trap "value stack underflow";
+    m.sp <- m.sp - 1;
+    m.stack.(m.sp)
+
+  let peek m =
+    if m.sp = 0 then trap "value stack underflow";
+    m.stack.(m.sp - 1)
+
+  (** Push a call frame for [code] whose arguments are the top
+      [n_params] values of the stack. *)
+  let push_frame m inst (code : Code.fcode) =
+    let nparams = List.length code.Code.fc_type.params in
+    let nlocals = Array.length code.Code.fc_locals in
+    let locals = Array.make (max nlocals 1) (I32 0l) in
+    for i = 0 to nlocals - 1 do
+      locals.(i) <- Values.default_of code.Code.fc_locals.(i)
+    done;
+    if m.sp < nparams then trap "call: missing arguments";
+    for i = 0 to nparams - 1 do
+      locals.(i) <- m.stack.(m.sp - nparams + i)
+    done;
+    m.sp <- m.sp - nparams;
+    m.frames <-
+      { fr_inst = inst; fr_code = code; fr_locals = locals; fr_pc = 0;
+        fr_ret_sp = m.sp }
+      :: m.frames;
+    m.depth <- m.depth + 1
+
+  (** Deep-copy: new stack, new frames with copied locals; memories of the
+      root instance are copied too (fork semantics). Instances other than
+      the root share structure except for memory 0 which is replaced.
+
+      Note: a forked child gets a full copy of the root instance so its
+      globals and memory diverge from the parent, matching native fork. *)
+  let clone (m : t) : t =
+    (* Identity-keyed maps so shared memories/instances stay shared in the
+       clone exactly as they were in the original. *)
+    let mem_map : (Memory.t * Memory.t) list ref = ref [] in
+    let clone_mem mem =
+      match List.find_opt (fun (a, _) -> a == mem) !mem_map with
+      | Some (_, m') -> m'
+      | None ->
+          let m' = Memory.clone mem in
+          mem_map := (mem, m') :: !mem_map;
+          m'
+    in
+    let inst_map : (instance * instance) list ref = ref [] in
+    let rec clone_inst (i : instance) : instance =
+      match List.find_opt (fun (a, _) -> a == i) !inst_map with
+      | Some (_, i') -> i'
+      | None ->
+          let i' =
+            {
+              i with
+              i_funcs = [||];
+              i_memories = Array.map clone_mem i.i_memories;
+              i_tables =
+                Array.map
+                  (fun (t : Table.t) ->
+                    { t with Table.elems = Array.copy t.Table.elems })
+                  i.i_tables;
+              i_globals =
+                Array.map
+                  (fun g -> Global.create g.Global.mut (Global.get g))
+                  i.i_globals;
+              i_exports = Hashtbl.create 8;
+            }
+          in
+          inst_map := (i, i') :: !inst_map;
+          i'.i_funcs <-
+            Array.map
+              (function
+                | Wasm_func w -> Wasm_func { w with wf_inst = clone_inst w.wf_inst }
+                | Host_func h -> Host_func h)
+              i.i_funcs;
+          Hashtbl.iter
+            (fun k v ->
+              let v' =
+                match v with
+                | E_func (Wasm_func w) ->
+                    E_func (Wasm_func { w with wf_inst = clone_inst w.wf_inst })
+                | E_func (Host_func h) -> E_func (Host_func h)
+                | E_memory mem -> E_memory (clone_mem mem)
+                | E_table t -> E_table t
+                | E_global g -> E_global g
+              in
+              Hashtbl.replace i'.i_exports k v')
+            i.i_exports;
+          i'
+    in
+    let root = clone_inst m.m_inst in
+    let frames =
+      List.map
+        (fun fr ->
+          {
+            fr with
+            fr_inst = clone_inst fr.fr_inst;
+            fr_locals = Array.copy fr.fr_locals;
+          })
+        m.frames
+    in
+    {
+      stack = Array.copy m.stack;
+      sp = m.sp;
+      frames;
+      depth = m.depth;
+      m_inst = root;
+      steps = m.steps;
+      poll_hook = m.poll_hook;
+      m_pid = m.m_pid;
+    }
+end
+
+(** Default memory of the machine's root instance. *)
+let memory0 (m : machine) =
+  if Array.length m.m_inst.i_memories = 0 then trap "no memory";
+  m.m_inst.i_memories.(0)
+
+let export_opt inst name = Hashtbl.find_opt inst.i_exports name
+
+let exported_func inst name =
+  match export_opt inst name with
+  | Some (E_func f) -> f
+  | _ -> trap "no exported function %s in %s" name inst.i_name

@@ -1,0 +1,27 @@
+(** Wasm type grammar (core spec §2.3). *)
+
+type val_type = T_i32 | T_i64 | T_f32 | T_f64 | T_funcref
+
+type func_type = { params : val_type list; results : val_type list }
+
+type limits = { lim_min : int; lim_max : int option }
+
+type mutability = Immutable | Mutable
+
+type global_type = { gt_type : val_type; gt_mut : mutability }
+
+let string_of_val_type = function
+  | T_i32 -> "i32"
+  | T_i64 -> "i64"
+  | T_f32 -> "f32"
+  | T_f64 -> "f64"
+  | T_funcref -> "funcref"
+
+let string_of_func_type ft =
+  let vs l = String.concat " " (List.map string_of_val_type l) in
+  Printf.sprintf "[%s] -> [%s]" (vs ft.params) (vs ft.results)
+
+let func_type_equal a b = a.params = b.params && a.results = b.results
+
+(** Wasm page size: 64 KiB. *)
+let page_size = 65536

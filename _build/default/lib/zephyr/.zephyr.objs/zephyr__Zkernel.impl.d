@@ -1,0 +1,1 @@
+lib/zephyr/zkernel.ml: Array Buffer Bytes Char Fiber Hashtbl Int64 Kernel Queue String

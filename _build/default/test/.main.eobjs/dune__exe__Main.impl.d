@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_apps Test_backends Test_fiber Test_kernel Test_minic Test_mmap Test_wali_basic Test_wasi Test_wasm Test_wazi

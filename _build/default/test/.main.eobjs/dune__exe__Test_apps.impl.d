@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Astring_contains List Wali

@@ -1,0 +1,1 @@
+test/test_fiber.ml: Alcotest Fiber Int64 List Printf

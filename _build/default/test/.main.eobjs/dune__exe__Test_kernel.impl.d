@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Buffer Bytes Errno Fiber Futex Int64 Kernel Ktypes List Option Printf QCheck QCheck_alcotest Socket String Syscalls Task Vfs

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Kernel Minic Wali

@@ -1,0 +1,1 @@
+test/test_mmap.ml: Alcotest Bytes Kernel List Minic Mmap_mgr Printf QCheck QCheck_alcotest String Wali Wasm

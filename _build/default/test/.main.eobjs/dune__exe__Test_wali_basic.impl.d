@@ -1,0 +1,1 @@
+test/test_wali_basic.ml: Alcotest Binary Builder Char Int32 Int64 Interface Kernel List Seccomp Strace Types Wali Wasm

@@ -1,0 +1,1 @@
+test/test_wasi.ml: Alcotest Binary Builder Char Int32 Int64 List Printf String Types Wasi Wasm

@@ -1,0 +1,1 @@
+test/test_wasm.ml: Alcotest Array Astring_contains Binary Buffer Builder Code Format Int32 Interp Link List QCheck QCheck_alcotest Rt Types Values Wasm

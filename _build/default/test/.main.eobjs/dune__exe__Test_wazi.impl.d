@@ -1,0 +1,1 @@
+test/test_wazi.ml: Alcotest Astring_contains Binary Builder Char Int32 Interp List Tables Types Values Wasm Wazi Zephyr

@@ -1,0 +1,13 @@
+(* Tiny substring helper shared by the test suites. *)
+
+let contains (haystack : string) (needle : string) : bool =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let rec at i =
+      if i + nn > nh then false
+      else if String.sub haystack i nn = needle then true
+      else at (i + 1)
+    in
+    at 0
+  end

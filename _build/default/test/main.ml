@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "wali-repro"
+    [
+      ("wasm", Test_wasm.tests);
+      ("fiber", Test_fiber.tests);
+      ("kernel", Test_kernel.tests);
+      ("wali-basic", Test_wali_basic.tests);
+      ("minic", Test_minic.tests);
+      ("backends", Test_backends.tests);
+      ("apps", Test_apps.tests);
+      ("wasi", Test_wasi.tests);
+      ("wazi", Test_wazi.tests);
+      ("mmap", Test_mmap.tests);
+    ]

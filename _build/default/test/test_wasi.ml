@@ -1,0 +1,270 @@
+(* The WASI-layering experiment (paper E2/C2, the libuvwasi analogue):
+   a hand-assembled WASI application runs over the adapter module, which
+   itself runs over WALI. The app performs a libuvwasi-style battery of
+   preview1 checks and reports TAP output through fd_write. *)
+
+open Wasm
+open Wasm.Ast
+
+let i32t = Types.T_i32
+let i64t = Types.T_i64
+
+(* Build the test app: imports env.memory + preview1 functions, exports
+   _start. Scratch memory at 8192+; data strings at 4096+. *)
+let build_test_app () : string =
+  let b = Builder.create ~name:"wasi-test" () in
+  Builder.import_memory b ~module_:"env" ~name:"memory" ~min:1 ~max:None;
+  let imp name params results =
+    Builder.import_func b ~module_:"wasi_snapshot_preview1" ~name ~params ~results
+  in
+  let fd_write = imp "fd_write" [ i32t; i32t; i32t; i32t ] [ i32t ] in
+  let fd_read = imp "fd_read" [ i32t; i32t; i32t; i32t ] [ i32t ] in
+  let fd_close = imp "fd_close" [ i32t ] [ i32t ] in
+  let fd_seek = imp "fd_seek" [ i32t; i64t; i32t; i32t ] [ i32t ] in
+  let fd_tell = imp "fd_tell" [ i32t; i32t ] [ i32t ] in
+  let fd_fdstat_get = imp "fd_fdstat_get" [ i32t; i32t ] [ i32t ] in
+  let fd_filestat_get = imp "fd_filestat_get" [ i32t; i32t ] [ i32t ] in
+  let fd_prestat_get = imp "fd_prestat_get" [ i32t; i32t ] [ i32t ] in
+  let fd_prestat_dir_name = imp "fd_prestat_dir_name" [ i32t; i32t; i32t ] [ i32t ] in
+  let path_open =
+    imp "path_open" [ i32t; i32t; i32t; i32t; i32t; i32t; i32t; i32t; i32t ] [ i32t ]
+  in
+  let path_create_directory = imp "path_create_directory" [ i32t; i32t; i32t ] [ i32t ] in
+  let path_remove_directory = imp "path_remove_directory" [ i32t; i32t; i32t ] [ i32t ] in
+  let path_unlink_file = imp "path_unlink_file" [ i32t; i32t; i32t ] [ i32t ] in
+  let path_rename = imp "path_rename" [ i32t; i32t; i32t; i32t; i32t; i32t ] [ i32t ] in
+  let path_filestat_get = imp "path_filestat_get" [ i32t; i32t; i32t; i32t; i32t ] [ i32t ] in
+  let args_sizes_get = imp "args_sizes_get" [ i32t; i32t ] [ i32t ] in
+  let args_get = imp "args_get" [ i32t; i32t ] [ i32t ] in
+  let environ_sizes_get = imp "environ_sizes_get" [ i32t; i32t ] [ i32t ] in
+  let clock_time_get = imp "clock_time_get" [ i32t; i64t; i32t ] [ i32t ] in
+  let random_get = imp "random_get" [ i32t; i32t ] [ i32t ] in
+  let sched_yield = imp "sched_yield" [] [ i32t ] in
+  let proc_exit = imp "proc_exit" [ i32t ] [ i32t ] in
+  (* data strings *)
+  let data_pos = ref 4096 in
+  let strings = ref [] in
+  let intern s =
+    let a = !data_pos in
+    strings := (a, s) :: !strings;
+    data_pos := a + String.length s + 1;
+    a
+  in
+  let k n = I32_const (Int32.of_int n) in
+  (* scratch layout *)
+  let iov = 8192 (* iovec *) in
+  let out = 8208 (* result cells *) in
+  let buf = 8320 (* io buffer *) in
+  let statbuf = 8448 in
+  (* emit: write string at addr/len to stdout via fd_write *)
+  let emit_write addr len =
+    [
+      k iov; k addr; I32_store { offset = 0; align = 2 };
+      k iov; k len; I32_store { offset = 4; align = 2 };
+      k 1; k iov; k 1; k out; Call fd_write; Drop;
+    ]
+  in
+  let fails = 0 in
+  ignore fails;
+  (* check: run [cond] (leaves i32 bool); print ok/not ok; accumulate
+     failures in local 0 *)
+  let checks = ref [] in
+  let add_check name cond =
+    let okmsg = Printf.sprintf "ok %s\n" name in
+    let badmsg = Printf.sprintf "not ok %s\n" name in
+    let oka = intern okmsg and bada = intern badmsg in
+    checks :=
+      !checks
+      @ cond
+      @ [
+          If
+            ( Bt_none,
+              emit_write oka (String.length okmsg),
+              emit_write bada (String.length badmsg)
+              @ [ Local_get 0; k 1; I32_binop Add; Local_set 0 ] );
+        ]
+  in
+  (* path helper: store path text in data, pass (addr, len) *)
+  let path s =
+    let a = intern s in
+    (a, String.length s)
+  in
+  let eqz_at addr = [ k addr; I32_load { offset = 0; align = 2 } ] in
+  ignore eqz_at;
+  (* -- argv checks: run with argv = ["wasi-test"; "beta"] -- *)
+  add_check "args_sizes_get"
+    [
+      k out; k (out + 4); Call args_sizes_get; Drop;
+      k out; I32_load { offset = 0; align = 2 }; k 2; I32_relop Eq;
+    ];
+  add_check "args_get-argv1-is-beta"
+    [
+      (* argv array at out+16, strings at buf *)
+      k (out + 16); k buf; Call args_get; Drop;
+      (* argv[1][0] == 'b' && argv[1][3] == 'a' *)
+      k (out + 16); I32_load { offset = 4; align = 2 };
+      I32_load8 (ZX, { offset = 0; align = 0 });
+      k (Char.code 'b'); I32_relop Eq;
+      k (out + 16); I32_load { offset = 4; align = 2 };
+      I32_load8 (ZX, { offset = 3; align = 0 });
+      k (Char.code 'a'); I32_relop Eq;
+      I32_binop And;
+    ];
+  add_check "environ_sizes_get"
+    [
+      k out; k (out + 4); Call environ_sizes_get; Drop;
+      k out; I32_load { offset = 0; align = 2 }; k 1; I32_relop Eq;
+    ];
+  add_check "clock_time_get-monotonic-positive"
+    [
+      k 1; I64_const 1L; k out; Call clock_time_get; Drop;
+      k out; I64_load { offset = 0; align = 3 }; I64_const 0L; I64_relop Gt_s;
+    ];
+  add_check "random_get" [ k buf; k 16; Call random_get; I32_eqz ];
+  add_check "sched_yield" [ Call sched_yield; I32_eqz ];
+  add_check "fd_prestat_get-preopen"
+    [
+      k 3; k out; Call fd_prestat_get; I32_eqz;
+      k out; I32_load { offset = 0; align = 2 }; I32_eqz;
+      I32_binop And;
+    ];
+  add_check "fd_prestat_dir_name"
+    [
+      k 3; k buf; k 4; Call fd_prestat_dir_name; Drop;
+      k buf; I32_load8 (ZX, { offset = 0; align = 0 });
+      k (Char.code '/'); I32_relop Eq;
+    ];
+  (* file round trip *)
+  let fpath, fplen = path "tmp/wasi-e2.txt" in
+  (* open create+write: oflags CREAT|TRUNC=9, rights read|write = bits1,6 *)
+  add_check "path_open-create"
+    [
+      k 3; k 0; k fpath; k fplen; k 9; k 0x42; k 0; k 0; k (out + 8);
+      Call path_open; I32_eqz;
+    ];
+  let fd = [ k (out + 8); I32_load { offset = 0; align = 2 } ] in
+  let payload = "layered-over-wali" in
+  let pa = intern payload in
+  add_check "fd_write-payload"
+    ([ (* iov = payload *) k iov; k pa; I32_store { offset = 0; align = 2 };
+       k iov; k (String.length payload); I32_store { offset = 4; align = 2 } ]
+    @ fd
+    @ [ k iov; k 1; k out; Call fd_write; Drop;
+        k out; I32_load { offset = 0; align = 2 };
+        k (String.length payload); I32_relop Eq ]);
+  add_check "fd_tell-after-write"
+    (fd
+    @ [ k out; Call fd_tell; Drop;
+        k out; I32_load { offset = 0; align = 2 };
+        k (String.length payload); I32_relop Eq ]);
+  add_check "fd_seek-to-start"
+    (fd
+    @ [ I64_const 0L; k 0; k out; Call fd_seek; I32_eqz ]);
+  add_check "fd_read-back"
+    ([ k iov; k buf; I32_store { offset = 0; align = 2 };
+       k iov; k 64; I32_store { offset = 4; align = 2 } ]
+    @ fd
+    @ [ k iov; k 1; k out; Call fd_read; Drop;
+        (* n == len && buf[0] == 'l' && buf[16] == 'i' *)
+        k out; I32_load { offset = 0; align = 2 };
+        k (String.length payload); I32_relop Eq;
+        k buf; I32_load8 (ZX, { offset = 0; align = 0 });
+        k (Char.code 'l'); I32_relop Eq;
+        I32_binop And;
+        k buf; I32_load8 (ZX, { offset = 16; align = 0 });
+        k (Char.code 'i'); I32_relop Eq;
+        I32_binop And ]);
+  add_check "fd_filestat_get-size"
+    (fd
+    @ [ k statbuf; Call fd_filestat_get; Drop;
+        k statbuf; I64_load { offset = 32; align = 3 };
+        I64_const (Int64.of_int (String.length payload)); I64_relop Eq ]);
+  add_check "fd_fdstat_get-regular-file"
+    (fd
+    @ [ k statbuf; Call fd_fdstat_get; Drop;
+        k statbuf; I32_load8 (ZX, { offset = 0; align = 0 });
+        k 4; I32_relop Eq ]);
+  add_check "fd_close" (fd @ [ Call fd_close; I32_eqz ]);
+  add_check "path_filestat_get"
+    [
+      k 3; k 0; k fpath; k fplen; k statbuf; Call path_filestat_get; I32_eqz;
+      k statbuf; I64_load { offset = 32; align = 3 };
+      I64_const (Int64.of_int (String.length payload)); I64_relop Eq;
+      I32_binop And;
+    ];
+  let dpath, dplen = path "tmp/wasi-dir" in
+  add_check "path_create_directory"
+    [ k 3; k dpath; k dplen; Call path_create_directory; I32_eqz ];
+  add_check "path_remove_directory"
+    [ k 3; k dpath; k dplen; Call path_remove_directory; I32_eqz ];
+  let rpath, rplen = path "tmp/wasi-renamed.txt" in
+  add_check "path_rename"
+    [ k 3; k fpath; k fplen; k 3; k rpath; k rplen; Call path_rename; I32_eqz ];
+  add_check "open-old-name-is-ENOENT"
+    [
+      k 3; k 0; k fpath; k fplen; k 0; k 2; k 0; k 0; k (out + 8);
+      Call path_open; k 44; I32_relop Eq;
+    ];
+  add_check "path_unlink_file"
+    [ k 3; k rpath; k rplen; Call path_unlink_file; I32_eqz ];
+  add_check "unlink-again-is-ENOENT"
+    [ k 3; k rpath; k rplen; Call path_unlink_file; k 44; I32_relop Eq ];
+  (* exit with the number of failures *)
+  let body = !checks @ [ Local_get 0; Call proc_exit; Drop ] in
+  let start = Builder.func b ~name:"_start" ~params:[] ~results:[] ~locals:[ i32t ] body in
+  Builder.export_func b "_start" start;
+  List.iter (fun (a, s) -> Builder.add_data b ~offset:a (s ^ "\000")) !strings;
+  Binary.encode (Builder.build b)
+
+let run_suite () =
+  let app_binary = build_test_app () in
+  Wasi.Runner.run ~app_binary ~argv:[ "wasi-test"; "beta" ] ~env:[ "MODE=e2" ] ()
+
+let test_e2_layering () =
+  let status, out = run_suite () in
+  let lines = String.split_on_char '\n' out in
+  let oks = List.length (List.filter (fun l -> String.length l > 2 && String.sub l 0 3 = "ok ") lines) in
+  let bads = List.length (List.filter (fun l -> String.length l > 5 && String.sub l 0 6 = "not ok") lines) in
+  if bads > 0 then
+    Alcotest.failf "WASI suite failures (%d):\n%s" bads out;
+  Alcotest.(check bool) "at least 22 checks" true (oks >= 22);
+  Alcotest.(check int) "exit 0" 0 status
+
+let test_adapter_is_pure_wali_module () =
+  (* the adapter imports only wali.* and env.memory — nothing else in the
+     TCB (paper's layering claim) *)
+  let m = Wasi.Adapter.build_module () in
+  List.iter
+    (fun (imp : Wasm.Ast.import) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "import %s.%s in wali/env" imp.imp_module imp.imp_name)
+        true
+        (imp.imp_module = "wali" || (imp.imp_module = "env" && imp.imp_name = "memory")))
+    m.Wasm.Ast.imports
+
+let test_adapter_exports_preview1 () =
+  let m = Wasi.Adapter.build_module () in
+  let names = List.map (fun e -> e.Wasm.Ast.exp_name) m.Wasm.Ast.exports in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " exported") true (List.mem n names))
+    [ "fd_write"; "fd_read"; "path_open"; "proc_exit"; "args_get";
+      "clock_time_get"; "fd_seek"; "fd_prestat_get"; "random_get" ]
+
+let test_capability_model_layered () =
+  (* the adapter never exposes fork/exec/kill: a WASI app cannot reach
+     them even though they exist one layer below *)
+  let m = Wasi.Adapter.build_module () in
+  let names = List.map (fun e -> e.Wasm.Ast.exp_name) m.Wasm.Ast.exports in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " not exported") false (List.mem n names))
+    [ "fork"; "execve"; "kill"; "SYS_fork" ]
+
+let tests =
+  [
+    Alcotest.test_case "E2: preview1 suite over layered adapter" `Quick test_e2_layering;
+    Alcotest.test_case "adapter TCB = wali + memory only" `Quick test_adapter_is_pure_wali_module;
+    Alcotest.test_case "adapter exports preview1" `Quick test_adapter_exports_preview1;
+    Alcotest.test_case "capability narrowing by layering" `Quick test_capability_model_layered;
+  ]
