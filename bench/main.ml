@@ -444,10 +444,55 @@ let fig8bcd () =
     \ slope between docker and qemu)"
 
 (* ------------------------------------------------------------------ *)
+(* Static analyzer throughput                                           *)
+(* ------------------------------------------------------------------ *)
+
+let analysis_bench () =
+  header "Analyzer: static syscall-reachability throughput (waliscan core)";
+  (* decode once: the benchmark is the analysis (compile + call graph +
+     reachability + policy), not the binary parser *)
+  let modules =
+    List.map
+      (fun (a : Apps.Suite.app) ->
+        let m = Wasm.Binary.decode (Apps.Suite.binary_of a) in
+        let nf =
+          Wasm.Ast.num_imported_funcs m + Array.length m.Wasm.Ast.funcs
+        in
+        (a.Apps.Suite.a_name, m, nf))
+      Apps.Suite.all
+  in
+  List.iter (fun (_, m, _) -> ignore (Analysis.Reach.analyze m)) modules;
+  let iters = 40 in
+  Printf.printf "%-10s %6s %8s %10s %8s\n" "app" "funcs" "allowed"
+    "ms/analyze" "warnings";
+  let total_ns = ref 0.0 and total_funcs = ref 0 in
+  List.iter
+    (fun (name, m, nf) ->
+      let t0 = now () in
+      for _ = 1 to iters do
+        ignore (Analysis.Reach.analyze m)
+      done;
+      let ns = Int64.to_float (Int64.sub (now ()) t0) /. float_of_int iters in
+      total_ns := !total_ns +. ns;
+      total_funcs := !total_funcs + nf;
+      let s = Analysis.Reach.analyze m in
+      Printf.printf "%-10s %6d %8d %9.3fms %8d\n" name nf
+        (List.length (Analysis.Reach.allowlist s))
+        (ns /. 1e6)
+        (List.length (Analysis.Lint.lint s)))
+    modules;
+  let secs = !total_ns /. 1e9 in
+  Printf.printf
+    "suite: %d modules, %d functions in %.1fms -> %.0f modules/sec, %.0f functions/sec\n"
+    (List.length modules) !total_funcs (!total_ns /. 1e6)
+    (float_of_int (List.length modules) /. secs)
+    (float_of_int !total_funcs /. secs)
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
-    "usage: bench/main.exe [all|fig2|fig3|table1|table2|table3|fig7|fig8|fig8a]"
+    "usage: bench/main.exe [all|fig2|fig3|table1|table2|table3|fig7|fig8|fig8a|analysis]"
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -462,6 +507,7 @@ let () =
   | "fig8" ->
       fig8a ();
       fig8bcd ()
+  | "analysis" -> analysis_bench ()
   | "all" ->
       fig2 ();
       fig3 ();
@@ -470,5 +516,6 @@ let () =
       table3 ();
       fig7 ();
       fig8a ();
-      fig8bcd ()
+      fig8bcd ();
+      analysis_bench ()
   | _ -> usage ()

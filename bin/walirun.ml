@@ -3,11 +3,12 @@
 
      dune exec bin/walirun.exe -- --app minish -- -c "echo hi"
      dune exec bin/walirun.exe -- program.wasm arg1 arg2
-     WALI_VERBOSE-style tracing: --trace; policies: --deny read,write *)
+     WALI_VERBOSE-style tracing: --trace; policies: --deny read,write;
+     statically derived allowlist: --derive-policy (see bin/waliscan.ml) *)
 
 open Cmdliner
 
-let run_cmd file app trace deny poll args =
+let run_cmd file app trace deny derive poll args =
   (* with --app, every positional is an application argument *)
   let file, args =
     match app with
@@ -30,7 +31,23 @@ let run_cmd file app trace deny poll args =
         exit 2
   in
   let tracer = Wali.Strace.create ~verbose:trace () in
-  let policy = Wali.Seccomp.allow_all () in
+  let policy =
+    if not derive then Wali.Seccomp.allow_all ()
+    else
+      match Analysis.Reach.analyze_binary binary with
+      | summary ->
+          if trace then
+            Printf.eprintf "derived allowlist (%d): %s\n"
+              (List.length (Analysis.Reach.allowlist summary))
+              (String.concat " " (Analysis.Reach.allowlist summary));
+          Analysis.Reach.policy summary
+      | exception e ->
+          Printf.eprintf "walirun: --derive-policy analysis failed: %s\n"
+            (Printexc.to_string e);
+          exit 2
+  in
+  (* --deny rules land on top of the derived/open policy; rules prepend,
+     so the most recently added (the deny) wins. *)
   List.iter (fun name -> Wali.Seccomp.deny policy name ()) deny;
   let poll_scheme =
     match poll with
@@ -82,12 +99,18 @@ let trace_t =
 let deny_t =
   Arg.(value & opt (list string) [] & info [ "deny" ] ~doc:"Deny these syscalls (seccomp-like policy).")
 
+let derive_t =
+  Arg.(value & flag
+       & info [ "derive-policy" ]
+           ~doc:"Run under the minimal allowlist derived by static \
+                 syscall-reachability analysis (default-deny).")
+
 let poll_t =
   Arg.(value & opt string "loops" & info [ "poll" ] ~doc:"Safepoint scheme: none|loops|funcs|every.")
 
 let cmd =
   Cmd.v
     (Cmd.info "walirun" ~doc:"Run WebAssembly binaries over the WALI kernel interface")
-    Term.(const run_cmd $ file_t $ app_t $ trace_t $ deny_t $ poll_t $ args_t)
+    Term.(const run_cmd $ file_t $ app_t $ trace_t $ deny_t $ derive_t $ poll_t $ args_t)
 
 let () = exit (Cmd.eval cmd)

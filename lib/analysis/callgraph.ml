@@ -1,0 +1,86 @@
+(** Call graph over a validated module.
+
+    Direct calls are exact: edges come from the compiled [K_call] ops,
+    so calls sitting in statically unreachable code do not count.
+    [call_indirect] is over-approximated by type: a call through type
+    index [ti] may target any elem-segment entry whose function type is
+    structurally equal to [types.(ti)]. This engine has no
+    table-mutation instructions and the host never writes table slots,
+    so elem segments are the complete table contents and the
+    over-approximation is sound. *)
+
+open Wasm
+
+type t = {
+  cg_module : Ast.module_;
+  cg_num_imports : int;
+  cg_num_funcs : int; (* full function index space: imports + locals *)
+  cg_direct : int list array; (* per function: exact direct callees *)
+  cg_indirect_types : int list array; (* per function: call_indirect type idxs *)
+  cg_elem_funcs : int list; (* address-taken functions (table contents) *)
+}
+
+let build (cm : Code.compiled) : t =
+  let m = cm.Code.cm_module in
+  let ni = Ast.num_imported_funcs m in
+  let n = ni + Array.length m.Ast.funcs in
+  let direct = Array.make n [] in
+  let itypes = Array.make n [] in
+  Array.iteri
+    (fun i fc ->
+      direct.(ni + i) <- Code.direct_calls fc;
+      itypes.(ni + i) <- Code.indirect_call_types fc)
+    cm.Code.cm_funcs;
+  {
+    cg_module = m;
+    cg_num_imports = ni;
+    cg_num_funcs = n;
+    cg_direct = direct;
+    cg_indirect_types = itypes;
+    cg_elem_funcs = Ast.elem_func_indices m;
+  }
+
+(** Structural type of function [idx] across the import/local boundary. *)
+let func_type g idx =
+  g.cg_module.Ast.types.(Ast.func_type_idx g.cg_module idx)
+
+(** Elem-segment entries type-compatible with [call_indirect] type [ti]:
+    the over-approximated target set. *)
+let indirect_targets g ti =
+  let want = g.cg_module.Ast.types.(ti) in
+  List.filter
+    (fun fi -> Types.func_type_equal (func_type g fi) want)
+    g.cg_elem_funcs
+
+(** Successors of [idx]: direct callees plus, unless [direct_only], the
+    over-approximated targets of its indirect calls. *)
+let succs ?(direct_only = false) g idx =
+  let d = g.cg_direct.(idx) in
+  if direct_only then d
+  else d @ List.concat_map (indirect_targets g) g.cg_indirect_types.(idx)
+
+(** Which function indices are reachable from [roots] (depth-first over
+    [succs])? *)
+let reachable ?(direct_only = false) g (roots : int list) : bool array =
+  let seen = Array.make (max 1 g.cg_num_funcs) false in
+  let rec go idx =
+    if idx >= 0 && idx < g.cg_num_funcs && not seen.(idx) then begin
+      seen.(idx) <- true;
+      List.iter go (succs ~direct_only g idx)
+    end
+  in
+  List.iter go roots;
+  seen
+
+(** Every type index some [call_indirect] in the module dispatches on. *)
+let indirect_type_indices g =
+  Array.to_list g.cg_indirect_types |> List.concat |> List.sort_uniq compare
+
+(** Is import/local function [idx] the target of any direct call? *)
+let directly_called g =
+  let called = Array.make (max 1 g.cg_num_funcs) false in
+  Array.iter
+    (List.iter (fun callee ->
+         if callee >= 0 && callee < g.cg_num_funcs then called.(callee) <- true))
+    g.cg_direct;
+  called

@@ -1,0 +1,62 @@
+(** Dynamic soundness check for the static analyzer: run the module
+    under its *derived* policy with tracing and diff the observed
+    syscall profile against the static reachability set.
+
+    The invariant: the static set must be a superset of the dynamic set.
+    Any dynamically observed syscall outside the static set — or any
+    seccomp denial under the derived allowlist — is an analyzer
+    soundness bug, not an application bug, and callers are expected to
+    fail loudly on it. (Denials and escapes are distinct observables:
+    a denied call is intercepted before tracing, so an unsound policy
+    shows up in [cc_denied] while an unsound *trace* comparison would
+    show up in [cc_escaped].) *)
+
+type result = {
+  cc_status : int; (* packed wait status of the run *)
+  cc_output : string; (* console output *)
+  cc_static : string list; (* the derived allowlist *)
+  cc_dynamic : string list; (* syscalls actually dispatched *)
+  cc_escaped : string list; (* dynamic \ static: soundness violations *)
+  cc_denied : (string * int) list; (* seccomp denials under the policy *)
+  cc_unused_allow : string list; (* static \ dynamic: over-approximation *)
+}
+
+let ok (r : result) = r.cc_escaped = [] && r.cc_denied = []
+
+(** Run [binary] under the policy derived from [summary].
+    [setup]/[stdin] mirror the app-suite harness: VFS fixtures and
+    console input the workload expects. *)
+let run ?(setup = fun (_ : Kernel.Task.kernel) -> ()) ?(stdin = "")
+    ?(argv = [ "module" ]) ?(env = []) ~(summary : Reach.summary)
+    ~(binary : string) () : result =
+  let static = Reach.allowlist summary in
+  let policy = Reach.policy summary in
+  let trace = Wali.Strace.create () in
+  let kernel = Kernel.Task.boot () in
+  setup kernel;
+  if stdin <> "" then begin
+    Kernel.Task.console_feed kernel stdin;
+    Kernel.Pipe.drop_writer kernel.Kernel.Task.console_in
+  end;
+  let status, out, _ =
+    Wali.Interface.run_program ~kernel ~trace ~policy ~binary ~argv ~env ()
+  in
+  let dynamic =
+    List.map fst (Wali.Strace.profile trace) |> List.sort_uniq compare
+  in
+  let escaped = List.filter (fun s -> not (List.mem s static)) dynamic in
+  let unused = List.filter (fun s -> not (List.mem s dynamic)) static in
+  {
+    cc_status = status;
+    cc_output = out;
+    cc_static = static;
+    cc_dynamic = dynamic;
+    cc_escaped = escaped;
+    cc_denied = Wali.Seccomp.denied_counts policy;
+    cc_unused_allow = unused;
+  }
+
+(** One-call form: derive the policy from [binary] itself, then verify. *)
+let run_binary ?setup ?stdin ?argv ?env ?name (binary : string) : result =
+  let summary = Reach.analyze_binary ?name binary in
+  run ?setup ?stdin ?argv ?env ~summary ~binary ()

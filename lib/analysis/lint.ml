@@ -1,0 +1,85 @@
+(** Lint diagnostics over a {!Reach.summary}. All of these are warnings:
+    they flag wasted surface (dead code, unused imports, uncallable
+    table slots) and over-approximation (syscalls allowed only because
+    of an indirect call), not soundness problems. Soundness is checked
+    dynamically by {!Crosscheck}. *)
+
+open Wasm
+
+type diag =
+  | Dead_func of int * string
+      (* local function unreachable from every export, start and table slot *)
+  | Unused_import of string * string
+      (* function import with no direct call site and no table slot *)
+  | Uncallable_elem of int * string
+      (* table entry no call_indirect type matches and the host cannot invoke *)
+  | Indirect_only of string
+      (* syscall in the allowlist only via a table entry / indirect call *)
+
+let describe = function
+  | Dead_func (i, n) ->
+      Printf.sprintf
+        "dead function #%d (%s): unreachable from every export, start \
+         function and table entry"
+        i n
+  | Unused_import (m, n) ->
+      Printf.sprintf
+        "unused import %s.%s: declared but never called (no direct call \
+         site, not in any elem segment)"
+        m n
+  | Uncallable_elem (i, n) ->
+      Printf.sprintf
+        "uncallable table entry #%d (%s): its type matches no call_indirect \
+         in the module and is not a host-invokable callback shape"
+        i n
+  | Indirect_only s ->
+      Printf.sprintf
+        "syscall %s is allowed only via an indirect call or table entry \
+         (over-approximation: may-reach, not must-reach)"
+        s
+
+(* Callback shapes the engine invokes through the table without any
+   call_indirect: signal handlers (i32)->() and thread entries
+   (i32)->(i32) (see Engine.handler_func / Interface.do_thread_spawn). *)
+let host_invokable (ft : Types.func_type) =
+  match (ft.Types.params, ft.Types.results) with
+  | [ Types.T_i32 ], [] | [ Types.T_i32 ], [ Types.T_i32 ] -> true
+  | _ -> false
+
+let lint (s : Reach.summary) : diag list =
+  let g = s.Reach.s_graph in
+  let m = s.Reach.s_module in
+  let ni = g.Callgraph.cg_num_imports in
+  let dead =
+    List.filter_map
+      (fun i ->
+        let idx = ni + i in
+        if s.Reach.s_reachable.(idx) then None
+        else Some (Dead_func (idx, Ast.func_name m idx)))
+      (List.init (Array.length m.Ast.funcs) Fun.id)
+  in
+  let called = Callgraph.directly_called g in
+  let in_elem fi = List.mem fi g.Callgraph.cg_elem_funcs in
+  let unused_imports =
+    List.filter_map
+      (fun (i, imp, _) ->
+        if called.(i) || in_elem i then None
+        else Some (Unused_import (imp.Ast.imp_module, imp.Ast.imp_name)))
+      s.Reach.s_imports
+  in
+  let itypes =
+    List.map
+      (fun ti -> m.Ast.types.(ti))
+      (Callgraph.indirect_type_indices g)
+  in
+  let uncallable =
+    List.filter_map
+      (fun fi ->
+        let ft = Callgraph.func_type g fi in
+        if host_invokable ft then None
+        else if List.exists (Types.func_type_equal ft) itypes then None
+        else Some (Uncallable_elem (fi, Ast.func_name m fi)))
+      g.Callgraph.cg_elem_funcs
+  in
+  dead @ unused_imports @ uncallable
+  @ List.map (fun n -> Indirect_only n) s.Reach.s_indirect_only

@@ -1,0 +1,119 @@
+(** Static syscall reachability: per-export reachability sets and the
+    whole-module minimal allowlist, derived from the call graph.
+
+    This closes the loop the paper leaves open in §3.6: the import
+    section is the module's complete syscall *manifest*, but the minimal
+    *policy* is the subset of that manifest actually reachable at run
+    time. Roots are:
+
+    - every exported function (and the start function), which the host
+      may invoke by name; and
+    - every elem-segment entry, because the engine invokes table slots
+      directly — signal handlers registered via [rt_sigaction] and
+      [thread_spawn] entries run without any [call_indirect] — so
+      address-taken functions are live even if no export reaches them.
+
+    Dropping either root class would make the derived policy unsound;
+    the dynamic cross-check in {!Crosscheck} exists to prove it is not. *)
+
+open Wasm
+
+type summary = {
+  s_name : string;
+  s_module : Ast.module_;
+  s_graph : Callgraph.t;
+  s_imports : (int * Ast.import * Classify.kind) list;
+  s_roots : (string * int) list; (* root label -> function index *)
+  s_reachable : bool array; (* full index space, from all roots *)
+  s_per_export : (string * string list) list; (* export -> syscall set *)
+  s_syscalls : string list; (* the whole-module minimal allowlist *)
+  s_env_helpers : string list; (* reachable argv/env methods + thread_spawn *)
+  s_wasi_calls : string list; (* imported preview1 functions (adapter layer) *)
+  s_other_imports : (string * string) list;
+  s_indirect_only : string list; (* in the allowlist only via tables/indirect *)
+}
+
+(* Syscall names among [imports] whose function index is marked in
+   [seen]. *)
+let syscalls_in imports (seen : bool array) : string list =
+  List.filter_map
+    (fun (i, _, k) ->
+      match k with
+      | Classify.Syscall n when seen.(i) -> Some n
+      | _ -> None)
+    imports
+  |> List.sort_uniq compare
+
+let analyze ?(name = "") (m : Ast.module_) : summary =
+  let cm = Code.compile_module m in
+  let g = Callgraph.build cm in
+  let imports = Classify.func_imports m in
+  let exports = Ast.exported_funcs m in
+  let start_roots =
+    match m.Ast.start with Some s -> [ ("(start)", s) ] | None -> []
+  in
+  let elem_roots =
+    List.map (fun fi -> ("(table)", fi)) g.Callgraph.cg_elem_funcs
+  in
+  let roots = exports @ start_roots @ elem_roots in
+  let seen = Callgraph.reachable g (List.map snd roots) in
+  let syscalls = syscalls_in imports seen in
+  (* Over-approximation accounting: what would direct call chains from
+     the named entry points (exports + start) alone reach? Anything in
+     the allowlist beyond that is there only because of a table entry or
+     an indirect call — flag it so policy reviewers know it is a
+     may-reach, not a must-reach. *)
+  let named_roots = List.map snd (exports @ start_roots) in
+  let seen_direct = Callgraph.reachable ~direct_only:true g named_roots in
+  let direct_syscalls = syscalls_in imports seen_direct in
+  let indirect_only =
+    List.filter (fun s -> not (List.mem s direct_syscalls)) syscalls
+  in
+  let per_export =
+    List.map
+      (fun (en, ei) -> (en, syscalls_in imports (Callgraph.reachable g [ ei ])))
+      exports
+  in
+  let pick f =
+    List.filter_map (fun (i, _, k) -> if seen.(i) then f k else None) imports
+    |> List.sort_uniq compare
+  in
+  {
+    s_name = (if name = "" then m.Ast.m_name else name);
+    s_module = m;
+    s_graph = g;
+    s_imports = imports;
+    s_roots = roots;
+    s_reachable = seen;
+    s_per_export = per_export;
+    s_syscalls = syscalls;
+    s_env_helpers =
+      pick (function Classify.Env_helper n -> Some n | _ -> None);
+    s_wasi_calls =
+      (* the adapter resolves these below the module; list them all so a
+         layered run can derive the adapter-side policy separately *)
+      List.filter_map
+        (fun (_, _, k) ->
+          match k with Classify.Wasi_call n -> Some n | _ -> None)
+        imports
+      |> List.sort_uniq compare;
+    s_other_imports =
+      List.filter_map
+        (fun (_, _, k) ->
+          match k with Classify.Host_other (m, n) -> Some (m, n) | _ -> None)
+        imports
+      |> List.sort_uniq compare;
+    s_indirect_only = indirect_only;
+  }
+
+(** Decode and analyze a Wasm binary. Raises [Binary.Decode_error] /
+    [Code.Invalid] on malformed modules — analyzer errors, not lints. *)
+let analyze_binary ?name (binary : string) : summary =
+  analyze ?name (Binary.decode binary)
+
+(** The whole-module minimal allowlist. *)
+let allowlist (s : summary) : string list = s.s_syscalls
+
+(** A ready-made default-deny {!Wali.Seccomp} policy seeded with the
+    derived allowlist — the gVisor/Nabla shape, computed not hand-seeded. *)
+let policy (s : summary) : Wali.Seccomp.t = Wali.Seccomp.allowlist s.s_syscalls

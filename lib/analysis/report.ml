@@ -1,0 +1,85 @@
+(** Human-readable rendering of an analysis {!Reach.summary} — the
+    `waliscan` output format. *)
+
+open Wasm
+
+let wrap_names ?(indent = "    ") ?(width = 72) names =
+  let buf = Buffer.create 256 in
+  let line = Buffer.create 80 in
+  let flush_line () =
+    if Buffer.length line > 0 then begin
+      Buffer.add_string buf indent;
+      Buffer.add_buffer buf line;
+      Buffer.add_char buf '\n';
+      Buffer.clear line
+    end
+  in
+  List.iter
+    (fun n ->
+      if Buffer.length line + String.length n + 1 > width then flush_line ();
+      if Buffer.length line > 0 then Buffer.add_char line ' ';
+      Buffer.add_string line n)
+    names;
+  flush_line ();
+  Buffer.contents buf
+
+let render ?(lints = []) (s : Reach.summary) : string =
+  let b = Buffer.create 1024 in
+  let m = s.Reach.s_module in
+  let g = s.Reach.s_graph in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let name = if s.Reach.s_name = "" then "(module)" else s.Reach.s_name in
+  let n_imp = g.Callgraph.cg_num_imports in
+  let n_local = Array.length m.Ast.funcs in
+  let live =
+    Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0
+      s.Reach.s_reachable
+  in
+  pf "module %s: %d functions (%d imported), %d live, %d exports, %d table entries\n"
+    name (n_imp + n_local) n_imp live
+    (List.length (Ast.exported_funcs m))
+    (List.length g.Callgraph.cg_elem_funcs);
+  let count k =
+    List.length
+      (List.filter
+         (fun (_, _, kk) ->
+           match (k, kk) with
+           | `Sys, Classify.Syscall _
+           | `Env, Classify.Env_helper _
+           | `Wasi, Classify.Wasi_call _
+           | `Other, Classify.Host_other _ ->
+               true
+           | _ -> false)
+         s.Reach.s_imports)
+  in
+  pf "  imports: %d syscalls, %d env helpers, %d wasi, %d other\n"
+    (count `Sys) (count `Env) (count `Wasi) (count `Other);
+  pf "  minimal allowlist (%d syscalls):\n%s"
+    (List.length s.Reach.s_syscalls)
+    (wrap_names s.Reach.s_syscalls);
+  if s.Reach.s_wasi_calls <> [] then
+    pf "  wasi preview1 surface (%d calls, resolved by the adapter):\n%s"
+      (List.length s.Reach.s_wasi_calls)
+      (wrap_names s.Reach.s_wasi_calls);
+  if s.Reach.s_per_export <> [] then begin
+    pf "  per-export syscall reachability:\n";
+    List.iter
+      (fun (en, sys) ->
+        pf "    %-20s %d syscall%s%s\n" en (List.length sys)
+          (if List.length sys = 1 then "" else "s")
+          (if sys = [] then ""
+           else if List.length sys <= 8 then ": " ^ String.concat " " sys
+           else ""))
+      s.Reach.s_per_export
+  end;
+  if lints <> [] then begin
+    pf "  diagnostics (%d):\n" (List.length lints);
+    List.iter (fun d -> pf "    warning: %s\n" (Lint.describe d)) lints
+  end;
+  Buffer.contents b
+
+let print ?lints s = print_string (render ?lints s)
+
+(** The generated policy, one syscall per line — pipe into tooling. *)
+let policy_lines (s : Reach.summary) : string =
+  String.concat "" (List.map (fun n -> n ^ "\n") s.Reach.s_syscalls)

@@ -169,9 +169,11 @@ let binary_of (a : app) : string =
       Hashtbl.replace binary_cache a.a_name b;
       b
 
-(** Run an app on the WALI engine; returns (status, output). *)
-let run ?(argv : string list option) ?(env = []) ?trace ?poll_scheme (a : app) :
-    int * string =
+(** Run an app on the WALI engine; returns (status, output). [policy]
+    lets callers run the suite under e.g. a statically derived seccomp
+    allowlist (see lib/analysis). *)
+let run ?(argv : string list option) ?(env = []) ?trace ?policy ?poll_scheme
+    (a : app) : int * string =
   let binary = binary_of a in
   let kernel = Kernel.Task.boot () in
   a.a_setup kernel;
@@ -181,7 +183,7 @@ let run ?(argv : string list option) ?(env = []) ?trace ?poll_scheme (a : app) :
     Kernel.Pipe.drop_writer kernel.Kernel.Task.console_in
   end;
   let status, out, _ =
-    Wali.Interface.run_program ~kernel ?trace ?poll_scheme ~binary
+    Wali.Interface.run_program ~kernel ?trace ?policy ?poll_scheme ~binary
       ~argv:(Option.value argv ~default:a.a_argv)
       ~env ()
   in

@@ -3,7 +3,9 @@
 
     Because WALI syscalls are name-bound, policies are ISA-agnostic and
     can be expressed against names rather than numbers. Policies compose:
-    the most specific rule wins, then the default applies. *)
+    for a given syscall name the most recently added rule wins, then the
+    default applies. Rules are kept most-recent-first ([allow]/[deny]/
+    [kill_on] all prepend), so resolution is the first name match. *)
 
 type verdict =
   | Allow
@@ -24,16 +26,25 @@ let allow_all () = { rules = []; default = Allow; hits = Hashtbl.create 8 }
     gVisor/Nabla-style secure containers. *)
 let allowlist names =
   {
-    rules = List.map (fun n -> { r_name = n; r_verdict = Allow }) names;
+    (* reversed so that, should a name repeat, the later entry is first
+       and wins — the same most-recent-first order the mutators keep *)
+    rules = List.rev_map (fun n -> { r_name = n; r_verdict = Allow }) names;
     default = Deny Kernel.Errno.EPERM;
     hits = Hashtbl.create 8;
   }
+
+(* Mutators prepend: the head of [rules] is always the newest rule, so
+   a later [deny] overrides an earlier allowlist entry and vice versa. *)
+let allow t name = t.rules <- { r_name = name; r_verdict = Allow } :: t.rules
 
 let deny t name ?(errno = Kernel.Errno.EPERM) () =
   t.rules <- { r_name = name; r_verdict = Deny errno } :: t.rules
 
 let kill_on t name = t.rules <- { r_name = name; r_verdict = Kill } :: t.rules
 
+(** Resolve [name]: the most recently added rule for the name, or the
+    policy default. First match is correct because rules are kept
+    most-recent-first. *)
 let check t name : verdict =
   let v =
     match List.find_opt (fun r -> r.r_name = name) t.rules with

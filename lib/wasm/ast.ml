@@ -192,3 +192,30 @@ let func_type_idx m idx =
   let n = num_imported_funcs m in
   if idx < n then snd (List.nth (imported_funcs m) idx)
   else m.funcs.(idx - n).f_type
+
+(** Function exports as (export name, function index) pairs. *)
+let exported_funcs m =
+  List.filter_map
+    (fun e -> match e.exp_desc with Ed_func i -> Some (e.exp_name, i) | _ -> None)
+    m.exports
+
+(** Every function index referenced by an element segment. Tables are
+    only written at instantiation time (this Wasm subset has no
+    table-mutation instructions), so this is the complete set of
+    address-taken functions: the only possible [call_indirect] targets
+    and the only functions the host can invoke through a table slot
+    (signal handlers, thread entries). *)
+let elem_func_indices m =
+  List.concat_map (fun e -> e.e_funcs) m.elems |> List.sort_uniq compare
+
+(** Diagnostic name of function [idx], crossing the import boundary. *)
+let func_name m idx =
+  let n = num_imported_funcs m in
+  if idx < n then
+    match List.nth_opt (imported_funcs m) idx with
+    | Some (i, _) -> i.imp_module ^ "." ^ i.imp_name
+    | None -> Printf.sprintf "#%d" idx
+  else
+    match m.funcs.(idx - n).f_name with
+    | "" -> Printf.sprintf "#%d" idx
+    | s -> s

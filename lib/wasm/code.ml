@@ -606,6 +606,26 @@ let compile_func env ~poll (f : func) : fcode =
     fc_ops = Array.sub !buf 0 !len }
 
 (* ------------------------------------------------------------------ *)
+(* Static call info (for the reachability analyzer)                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Exact direct callee indices of a compiled function. Computed over
+    the validated flat code, so calls in statically unreachable code
+    (dropped by the compiler) do not appear. *)
+let direct_calls (fc : fcode) : int list =
+  Array.to_list fc.fc_ops
+  |> List.filter_map (function K_call fi -> Some fi | _ -> None)
+  |> List.sort_uniq compare
+
+(** Type indices used by [call_indirect] in a compiled function. The
+    analyzer over-approximates the target set by matching these against
+    type-compatible elem-segment entries. *)
+let indirect_call_types (fc : fcode) : int list =
+  Array.to_list fc.fc_ops
+  |> List.filter_map (function K_call_indirect (ti, _) -> Some ti | _ -> None)
+  |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
 (* Module-level validation context                                      *)
 (* ------------------------------------------------------------------ *)
 

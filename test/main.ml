@@ -11,4 +11,5 @@ let () =
       ("wasi", Test_wasi.tests);
       ("wazi", Test_wazi.tests);
       ("mmap", Test_mmap.tests);
+      ("analysis", Test_analysis.tests);
     ]
