@@ -489,10 +489,103 @@ let analysis_bench () =
     (float_of_int !total_funcs /. secs)
 
 (* ------------------------------------------------------------------ *)
+(* Record/replay: recording overhead and replay speedup                  *)
+(* ------------------------------------------------------------------ *)
+
+let replay_bench () =
+  header "Replay: recording overhead vs live, replay speedup (lib/replay)";
+  let boot_for (a : Apps.Suite.app) =
+    let kernel = Kernel.Task.boot () in
+    a.Apps.Suite.a_setup kernel;
+    if a.Apps.Suite.a_stdin <> "" then begin
+      Kernel.Task.console_feed kernel a.Apps.Suite.a_stdin;
+      Kernel.Pipe.drop_writer kernel.Kernel.Task.console_in
+    end;
+    kernel
+  in
+  let med f =
+    let xs = List.sort compare [ f (); f (); f () ] in
+    List.nth xs 1
+  in
+  let timed f =
+    let t0 = now () in
+    let r = f () in
+    (r, ms_of_ns (Int64.sub (now ()) t0))
+  in
+  Printf.printf "%-10s %8s %9s %9s %9s %8s %9s %9s\n" "app" "calls" "live"
+    "record" "replay" "overhead" "speedup" "bytes";
+  let tl = ref 0.0 and tc = ref 0.0 and tp = ref 0.0 in
+  List.iter
+    (fun (a : Apps.Suite.app) ->
+      let binary = Apps.Suite.binary_of a in
+      let live_ms =
+        med (fun () ->
+            snd
+              (timed (fun () ->
+                   let kernel = boot_for a in
+                   Wali.Interface.run_program ~kernel ~binary
+                     ~argv:a.Apps.Suite.a_argv ~env:[] ())))
+      in
+      let run, record_ms =
+        timed (fun () ->
+            let kernel = boot_for a in
+            Replay.Recorder.record ~app:a.Apps.Suite.a_name ~kernel ~binary
+              ~argv:a.Apps.Suite.a_argv ~env:[] ())
+      in
+      let record_ms =
+        min record_ms
+          (med (fun ()  ->
+               snd
+                 (timed (fun () ->
+                      let kernel = boot_for a in
+                      Replay.Recorder.record ~app:a.Apps.Suite.a_name ~kernel
+                        ~binary ~argv:a.Apps.Suite.a_argv ~env:[] ()))))
+      in
+      let trace =
+        Replay.Trace.decode
+          (Replay.Trace.encode (Replay.Reduce.reduce run.Replay.Recorder.r_trace))
+      in
+      let replay_ms =
+        med (fun () ->
+            let o, ms =
+              timed (fun () ->
+                  Replay.Replayer.replay ~setup:a.Apps.Suite.a_setup ~trace
+                    ~binary ())
+            in
+            if not (Replay.Replayer.converged o) then
+              Printf.printf "!! %s diverged on replay\n" a.Apps.Suite.a_name;
+            ms)
+      in
+      let calls =
+        Array.fold_left
+          (fun n ev ->
+            match ev with Replay.Trace.E_syscall _ -> n + 1 | _ -> n)
+          0 trace.Replay.Trace.tr_events
+      in
+      tl := !tl +. live_ms;
+      tc := !tc +. record_ms;
+      tp := !tp +. replay_ms;
+      Printf.printf "%-10s %8d %8.2fm %8.2fm %8.2fm %+7.1f%% %8.2fx %9d\n"
+        a.Apps.Suite.a_name calls live_ms record_ms replay_ms
+        ((record_ms -. live_ms) /. live_ms *. 100.0)
+        (live_ms /. replay_ms)
+        (Replay.Reduce.byte_size trace))
+    Apps.Suite.all;
+  Printf.printf
+    "suite: live %.1fms, record %.1fms (%+.1f%% overhead), replay %.1fms \
+     (%.2fx vs live)\n"
+    !tl !tc
+    ((!tc -. !tl) /. !tl *. 100.0)
+    !tp (!tl /. !tp);
+  print_endline
+    "(record pays the write-set capture; replay skips the kernel for \
+     data-class calls)"
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
-    "usage: bench/main.exe [all|fig2|fig3|table1|table2|table3|fig7|fig8|fig8a|analysis]"
+    "usage: bench/main.exe [all|fig2|fig3|table1|table2|table3|fig7|fig8|fig8a|analysis|replay]"
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -508,6 +601,7 @@ let () =
       fig8a ();
       fig8bcd ()
   | "analysis" -> analysis_bench ()
+  | "replay" -> replay_bench ()
   | "all" ->
       fig2 ();
       fig3 ();
@@ -517,5 +611,6 @@ let () =
       fig7 ();
       fig8a ();
       fig8bcd ();
-      analysis_bench ()
+      analysis_bench ();
+      replay_bench ()
   | _ -> usage ()

@@ -1,0 +1,268 @@
+(* walireplay — record, replay, inspect and reduce WALI syscall traces.
+
+     dune exec bin/walireplay.exe -- record --app calc -o calc.trace
+     dune exec bin/walireplay.exe -- replay calc.trace
+     dune exec bin/walireplay.exe -- report calc.trace
+     dune exec bin/walireplay.exe -- reduce big.trace -o small.trace --prefix 100
+     dune exec bin/walireplay.exe -- gate --quiet     # the CI gate (@replay)
+
+   Recording runs a bundled app (or a raw .wasm binary) exactly like the
+   test suite does — same setup, same scripted stdin — and captures every
+   event that crosses the thin interface. Replaying re-runs the module
+   with the kernel swapped out for the log and reports the first
+   divergence, if any. *)
+
+open Cmdliner
+
+type target = {
+  t_name : string;
+  t_binary : string;
+  t_setup : Kernel.Task.kernel -> unit;
+  t_stdin : string;
+  t_argv : string list;
+}
+
+let target_of_app (a : Apps.Suite.app) =
+  {
+    t_name = a.Apps.Suite.a_name;
+    t_binary = Apps.Suite.binary_of a;
+    t_setup = a.Apps.Suite.a_setup;
+    t_stdin = a.Apps.Suite.a_stdin;
+    t_argv = a.Apps.Suite.a_argv;
+  }
+
+let target_of_file f =
+  let binary =
+    try In_channel.with_open_bin f In_channel.input_all
+    with Sys_error e ->
+      Printf.eprintf "walireplay: %s\n" e;
+      exit 1
+  in
+  {
+    t_name = Filename.basename f;
+    t_binary = binary;
+    t_setup = (fun _ -> ());
+    t_stdin = "";
+    t_argv = [ Filename.basename f ];
+  }
+
+let find_app name =
+  match Apps.Suite.find name with
+  | Some a -> a
+  | None ->
+      Printf.eprintf "walireplay: unknown app %s; available: %s\n" name
+        (String.concat ", "
+           (List.map (fun a -> a.Apps.Suite.a_name) Apps.Suite.all));
+      exit 2
+
+(* Record one target the way Suite.run drives it: boot, app setup,
+   scripted stdin (EOF via dropped writer), then the recorded run. *)
+let record_target (t : target) : Replay.Recorder.run =
+  let kernel = Kernel.Task.boot () in
+  t.t_setup kernel;
+  if t.t_stdin <> "" then begin
+    Kernel.Task.console_feed kernel t.t_stdin;
+    Kernel.Pipe.drop_writer kernel.Kernel.Task.console_in
+  end;
+  Replay.Recorder.record ~app:t.t_name ~kernel ~binary:t.t_binary
+    ~argv:t.t_argv ~env:[] ()
+
+let load_trace file =
+  match Replay.Trace.load file with
+  | tr -> tr
+  | exception Replay.Trace.Corrupt msg ->
+      Printf.eprintf "walireplay: %s: corrupt trace: %s\n" file msg;
+      exit 1
+  | exception Replay.Trace.Bad_version v ->
+      Printf.eprintf
+        "walireplay: %s: trace format version %d, this build reads version %d\n"
+        file v Replay.Trace.version;
+      exit 1
+  | exception Sys_error e ->
+      Printf.eprintf "walireplay: %s\n" e;
+      exit 1
+
+(* ---- record ---- *)
+
+let record_cmd file app out =
+  let t =
+    match (app, file) with
+    | Some name, None -> target_of_app (find_app name)
+    | None, Some f -> target_of_file f
+    | _ ->
+        prerr_endline "walireplay record: need exactly one of FILE.wasm or --app NAME";
+        exit 2
+  in
+  let r = record_target t in
+  let reduced = Replay.Reduce.reduce r.Replay.Recorder.r_trace in
+  Replay.Trace.save out reduced;
+  Printf.printf "%s: recorded %d events (%d bytes%s) to %s, exit status %d\n"
+    t.t_name
+    (Array.length reduced.Replay.Trace.tr_events)
+    (Replay.Reduce.byte_size reduced)
+    (let raw = Replay.Reduce.byte_size r.Replay.Recorder.r_trace in
+     if raw > Replay.Reduce.byte_size reduced then
+       Printf.sprintf ", %d raw" raw
+     else "")
+    out
+    (r.Replay.Recorder.r_status lsr 8);
+  exit 0
+
+(* ---- replay ---- *)
+
+let replay_cmd file app wasm no_digest =
+  let trace = load_trace file in
+  let t =
+    match (app, wasm) with
+    | Some name, None -> target_of_app (find_app name)
+    | None, Some f -> target_of_file f
+    | None, None ->
+        let recorded = trace.Replay.Trace.tr_header.Replay.Trace.h_app in
+        if recorded = "" then begin
+          prerr_endline
+            "walireplay replay: trace has no app name; pass --app or --wasm";
+          exit 2
+        end
+        else target_of_app (find_app recorded)
+    | Some _, Some _ ->
+        prerr_endline "walireplay replay: --app and --wasm are exclusive";
+        exit 2
+  in
+  let o =
+    Replay.Replayer.replay ~setup:t.t_setup ~check_digest:(not no_digest)
+      ~trace ~binary:t.t_binary ()
+  in
+  (match o.Replay.Replayer.rp_divergence with
+  | None ->
+      Printf.printf "%s: replay converged: %d/%d records, exit status %d\n"
+        t.t_name o.Replay.Replayer.rp_consumed o.Replay.Replayer.rp_total
+        (o.Replay.Replayer.rp_status lsr 8);
+      exit 0
+  | Some d ->
+      Printf.eprintf "%s: %s\n" t.t_name (Replay.Replayer.pp_divergence d);
+      exit 1)
+
+(* ---- report ---- *)
+
+let report_cmd file =
+  Replay.Report.print (load_trace file);
+  exit 0
+
+(* ---- reduce ---- *)
+
+let reduce_cmd file out prefix =
+  let trace = load_trace file in
+  let before = Replay.Reduce.byte_size trace in
+  let reduced = Replay.Reduce.reduce trace in
+  let reduced =
+    match prefix with
+    | None -> reduced
+    | Some n -> Replay.Reduce.truncate reduced ~n
+  in
+  Replay.Trace.save out reduced;
+  Printf.printf "%s: %d bytes -> %d bytes (%d events%s)\n" out before
+    (Replay.Reduce.byte_size reduced)
+    (Array.length reduced.Replay.Trace.tr_events)
+    (match prefix with
+    | Some n -> Printf.sprintf ", truncated to first %d" n
+    | None -> "");
+  exit 0
+
+(* ---- gate: record + codec round-trip + replay every bundled app ---- *)
+
+let gate_cmd quiet =
+  let ok = ref true in
+  List.iter
+    (fun a ->
+      let t = target_of_app a in
+      let r = record_target t in
+      let reduced = Replay.Reduce.reduce r.Replay.Recorder.r_trace in
+      (* exercise the codec on every trace: what replays is the
+         decode of the encode *)
+      let trace = Replay.Trace.decode (Replay.Trace.encode reduced) in
+      let o =
+        Replay.Replayer.replay ~setup:t.t_setup ~trace ~binary:t.t_binary ()
+      in
+      match o.Replay.Replayer.rp_divergence with
+      | None ->
+          if not quiet then
+            Printf.printf "%-10s %6d records %8d bytes  status %-3d replay ok\n"
+              t.t_name
+              (Array.length trace.Replay.Trace.tr_events)
+              (Replay.Reduce.byte_size trace)
+              (r.Replay.Recorder.r_status lsr 8)
+      | Some d ->
+          ok := false;
+          Printf.eprintf "walireplay: %s: DIVERGENCE\n%s\n" t.t_name
+            (Replay.Replayer.pp_divergence d))
+    Apps.Suite.all;
+  if !ok && quiet then
+    Printf.printf
+      "walireplay: %d apps recorded and replayed with zero divergences\n"
+      (List.length Apps.Suite.all);
+  exit (if !ok then 0 else 1)
+
+(* ---- cmdliner wiring ---- *)
+
+let file_pos = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE")
+let wasm_pos = Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE.wasm")
+
+let app_t =
+  Arg.(value & opt (some string) None
+       & info [ "app" ] ~doc:"A bundled suite application.")
+
+let out_t =
+  Arg.(required & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
+
+let wasm_t =
+  Arg.(value & opt (some string) None
+       & info [ "wasm" ] ~docv:"FILE.wasm" ~doc:"Replay against this binary.")
+
+let no_digest_t =
+  Arg.(value & flag
+       & info [ "no-digest-check" ]
+           ~doc:"Replay even if the binary's digest differs from the one \
+                 recorded in the trace header.")
+
+let prefix_t =
+  Arg.(value & opt (some int) None
+       & info [ "prefix" ] ~docv:"N"
+           ~doc:"Keep only the first N events (divergence bisection).")
+
+let quiet_t =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress per-app lines.")
+
+let record_c =
+  Cmd.v
+    (Cmd.info "record" ~doc:"Record a run into a trace file")
+    Term.(const record_cmd $ wasm_pos $ app_t $ out_t)
+
+let replay_c =
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a trace and report the first divergence")
+    Term.(const replay_cmd $ file_pos $ app_t $ wasm_t $ no_digest_t)
+
+let report_c =
+  Cmd.v
+    (Cmd.info "report" ~doc:"Summarize a trace (per-syscall calls/errors/bytes)")
+    Term.(const report_cmd $ file_pos)
+
+let reduce_c =
+  Cmd.v
+    (Cmd.info "reduce" ~doc:"Shrink a trace (zero-run compression, --prefix)")
+    Term.(const reduce_cmd $ file_pos $ out_t $ prefix_t)
+
+let gate_c =
+  Cmd.v
+    (Cmd.info "gate"
+       ~doc:"Record and replay every bundled app; fail on any divergence")
+    Term.(const gate_cmd $ quiet_t)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "walireplay"
+       ~doc:"Deterministic record/replay at the WALI boundary")
+    [ record_c; replay_c; report_c; reduce_c; gate_c ]
+
+let () = exit (Cmd.eval cmd)

@@ -8,7 +8,7 @@
 
 open Cmdliner
 
-let run_cmd file app trace deny derive poll args =
+let run_cmd file app trace deny derive poll record replay args =
   (* with --app, every positional is an application argument *)
   let file, args =
     match app with
@@ -62,28 +62,89 @@ let run_cmd file app trace deny derive poll args =
     | _, Some a -> a
     | _ -> "wasm"
   in
-  let kernel = Kernel.Task.boot () in
-  (match app with
-  | Some name -> (
-      match Apps.Suite.find name with
-      | Some a -> a.Apps.Suite.a_setup kernel
-      | None -> ())
-  | None -> ());
-  let status, out, result =
-    Wali.Interface.run_program ~kernel ~trace:tracer ~policy ~poll_scheme
-      ~binary ~argv:(argv0 :: args) ~env:[ "HOME=/home/user"; "TERM=vt100" ] ()
+  (* app setup, shared by the live, record, and replay paths: VFS/process
+     state plus the app's scripted stdin (EOF via the dropped writer),
+     the same way the test suite drives these programs *)
+  let setup kernel =
+    match app with
+    | Some name -> (
+        match Apps.Suite.find name with
+        | Some a ->
+            a.Apps.Suite.a_setup kernel;
+            if a.Apps.Suite.a_stdin <> "" then begin
+              Kernel.Task.console_feed kernel a.Apps.Suite.a_stdin;
+              Kernel.Pipe.drop_writer kernel.Kernel.Task.console_in
+            end
+        | None -> ())
+    | None -> ()
   in
-  print_string out;
-  (match result with
-  | Some (Wasm.Interp.R_trap msg) -> Printf.eprintf "trap: %s\n" msg
-  | _ -> ());
-  if trace then begin
-    Printf.eprintf "--- syscall profile ---\n";
-    List.iter
-      (fun (n, c) -> Printf.eprintf "%6d %s\n" c n)
-      (Wali.Strace.profile tracer)
-  end;
-  exit (status lsr 8)
+  let argv = argv0 :: args in
+  let env = [ "HOME=/home/user"; "TERM=vt100" ] in
+  let print_profile () =
+    if trace then begin
+      Printf.eprintf "--- syscall profile ---\n";
+      List.iter
+        (fun (n, c) -> Printf.eprintf "%6d %s\n" c n)
+        (Wali.Strace.profile tracer)
+    end
+  in
+  match (record, replay) with
+  | Some _, Some _ ->
+      prerr_endline "walirun: --record and --replay are exclusive";
+      exit 2
+  | None, Some trace_file ->
+      (* swap the simulated kernel out for the log *)
+      let tr =
+        match Replay.Trace.load trace_file with
+        | tr -> tr
+        | exception Replay.Trace.Corrupt msg ->
+            Printf.eprintf "walirun: %s: corrupt trace: %s\n" trace_file msg;
+            exit 1
+        | exception Replay.Trace.Bad_version v ->
+            Printf.eprintf "walirun: %s: unsupported trace version %d\n"
+              trace_file v;
+            exit 1
+      in
+      let o = Replay.Replayer.replay ~setup ~trace:tr ~binary () in
+      (match o.Replay.Replayer.rp_divergence with
+      | None ->
+          Printf.printf "replay converged: %d/%d records, exit status %d\n"
+            o.Replay.Replayer.rp_consumed o.Replay.Replayer.rp_total
+            (o.Replay.Replayer.rp_status lsr 8);
+          exit (o.Replay.Replayer.rp_status lsr 8)
+      | Some d ->
+          prerr_endline (Replay.Replayer.pp_divergence d);
+          exit 1)
+  | Some trace_file, None ->
+      let kernel = Kernel.Task.boot () in
+      setup kernel;
+      let r =
+        Replay.Recorder.record
+          ~app:(Option.value app ~default:"")
+          ~poll_scheme ~strace:tracer ~policy ~kernel ~binary ~argv ~env ()
+      in
+      let reduced = Replay.Reduce.reduce r.Replay.Recorder.r_trace in
+      Replay.Trace.save trace_file reduced;
+      print_string r.Replay.Recorder.r_output;
+      Printf.eprintf "recorded %d events (%d bytes) to %s\n"
+        (Array.length reduced.Replay.Trace.tr_events)
+        (Replay.Reduce.byte_size reduced)
+        trace_file;
+      print_profile ();
+      exit (r.Replay.Recorder.r_status lsr 8)
+  | None, None ->
+      let kernel = Kernel.Task.boot () in
+      setup kernel;
+      let status, out, result =
+        Wali.Interface.run_program ~kernel ~trace:tracer ~policy ~poll_scheme
+          ~binary ~argv ~env ()
+      in
+      print_string out;
+      (match result with
+      | Some (Wasm.Interp.R_trap msg) -> Printf.eprintf "trap: %s\n" msg
+      | _ -> ());
+      print_profile ();
+      exit (status lsr 8)
 
 let file_t =
   Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE.wasm")
@@ -108,9 +169,22 @@ let derive_t =
 let poll_t =
   Arg.(value & opt string "loops" & info [ "poll" ] ~doc:"Safepoint scheme: none|loops|funcs|every.")
 
+let record_t =
+  Arg.(value & opt (some string) None
+       & info [ "record" ] ~docv:"FILE"
+           ~doc:"Run live and record every syscall, signal delivery and \
+                 exit into $(docv) for later deterministic replay.")
+
+let replay_t =
+  Arg.(value & opt (some string) None
+       & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Replay the run recorded in $(docv) with the kernel \
+                 swapped out for the log; fails on the first divergence.")
+
 let cmd =
   Cmd.v
     (Cmd.info "walirun" ~doc:"Run WebAssembly binaries over the WALI kernel interface")
-    Term.(const run_cmd $ file_t $ app_t $ trace_t $ deny_t $ derive_t $ poll_t $ args_t)
+    Term.(const run_cmd $ file_t $ app_t $ trace_t $ deny_t $ derive_t
+          $ poll_t $ record_t $ replay_t $ args_t)
 
 let () = exit (Cmd.eval cmd)

@@ -43,6 +43,34 @@ type t = {
   mutable next_mem_id : int;
   mutable live_procs : int;
   mutable on_proc_exit : (proc -> int -> unit) option;
+  mutable interpose : interposer option;
+}
+
+(** Record/replay (and other tooling) hooks around the thin interface.
+    [ip_dispatch] wraps every WALI host call — the [run] thunk performs
+    the live seccomp check + kernel dispatch, and the interposer may call
+    it (recording) or substitute its own outcome (replay). [ip_poll] is
+    invoked at every counted safepoint poll, before signal delivery, so
+    both sides of record/replay agree on delivery positions. [ip_signal]
+    observes each virtual signal delivery ([status] is the packed wait
+    status for fatal dispositions, [None] for handler runs). *)
+and interposer = {
+  ip_dispatch :
+    t ->
+    proc ->
+    string ->
+    Rt.machine ->
+    Values.value array ->
+    (unit -> Rt.host_outcome) ->
+    Rt.host_outcome;
+  ip_poll : t -> proc -> Rt.machine -> unit;
+  ip_signal : t -> proc -> Rt.machine -> signo:int -> status:int option -> unit;
+  ip_virtual_signals : bool;
+      (* true (replay): kernel-pending signals are never popped at
+         safepoints — deliveries come exclusively from the interposer's
+         [ip_poll] re-injection. Live process exits still post e.g.
+         SIGCHLD to kernel tasks; without this, those would be delivered
+         a second time on top of the injected recorded delivery. *)
 }
 
 let create ?(poll_scheme = Code.Poll_loops) ?(trace = Strace.create ())
@@ -57,6 +85,7 @@ let create ?(poll_scheme = Code.Poll_loops) ?(trace = Strace.create ())
     next_mem_id = 1;
     live_procs = 0;
     on_proc_exit = None;
+    interpose = None;
   }
 
 let fresh_mem_id eng =
@@ -89,6 +118,34 @@ let handler_func (inst : Rt.instance) idx : Rt.func_inst option =
     | None -> None
     | exception Values.Trap _ -> None
 
+(** Run the registered Wasm handler for [signo] with the mask discipline:
+    block the signal itself (unless SA_NODEFER) plus sa_mask for the
+    duration — nested delivery therefore defers identical signals, the
+    stack-based structure of §3.3. A dangling handler function pointer is
+    treated as default Term. Also the entry point the replayer uses to
+    re-inject recorded deliveries. *)
+let run_signal_handler _eng (p : proc) (m : Rt.machine) ~(signo : int)
+    ~(action : Kernel.Ktypes.sigaction) : unit =
+  let task = p.pr_task in
+  let open Kernel.Ktypes in
+  match handler_func m.Rt.m_inst action.sa_handler with
+  | None ->
+      (* dangling function pointer: treat as default Term *)
+      raise (Killed_by (wsignal_status signo))
+  | Some f ->
+      let old_mask = task.Kernel.Task.sigmask in
+      let block =
+        if action.sa_flags land sa_nodefer <> 0 then action.sa_mask
+        else Sigset.add action.sa_mask signo
+      in
+      task.Kernel.Task.sigmask <- Sigset.union old_mask block;
+      let result = Interp.call_nested m f [ Values.I32 (Int32.of_int signo) ] in
+      task.Kernel.Task.sigmask <- old_mask;
+      (match result with
+      | Interp.R_done _ -> ()
+      | Interp.R_trap msg -> Values.trap "trap in signal handler: %s" msg
+      | Interp.R_exit _ -> () (* unreachable: exits raise *))
+
 (** Deliver every currently-deliverable signal on machine [m]. Handlers
     run re-entrantly on the interrupted machine (sig_poll in Fig 5);
     default dispositions terminate via [Killed_by]. *)
@@ -97,49 +154,43 @@ let rec deliver_signals eng (p : proc) (m : Rt.machine) : unit =
   (match task.Kernel.Task.group.Kernel.Task.exiting with
   | Some status -> raise (Killed_by status)
   | None -> ());
-  if Kernel.Task.has_deliverable_signal task then begin
+  let suppressed =
+    match eng.interpose with
+    | Some ip -> ip.ip_virtual_signals
+    | None -> false
+  in
+  if (not suppressed) && Kernel.Task.has_deliverable_signal task then begin
     match Kernel.Task.next_signal task with
     | None -> ()
     | Some (signo, action) ->
         let open Kernel.Ktypes in
+        let observe status =
+          match eng.interpose with
+          | Some ip -> ip.ip_signal eng p m ~signo ~status
+          | None -> ()
+        in
         if action.sa_handler = sig_ign then deliver_signals eng p m
         else if action.sa_handler = sig_dfl then begin
           match default_disposition signo with
           | Ign | Cont -> deliver_signals eng p m
           | Stop -> deliver_signals eng p m (* job control simplified *)
-          | Term | Core -> raise (Killed_by (wsignal_status signo))
+          | Term | Core ->
+              let status = wsignal_status signo in
+              observe (Some status);
+              raise (Killed_by status)
         end
         else begin
-          (* Run the registered Wasm handler with the mask discipline:
-             block the signal itself (unless SA_NODEFER) plus sa_mask for
-             the duration — nested delivery therefore defers identical
-             signals, the stack-based structure of §3.3. *)
-          match handler_func m.Rt.m_inst action.sa_handler with
-          | None ->
-              (* dangling function pointer: treat as default Term *)
-              raise (Killed_by (wsignal_status signo))
-          | Some f ->
-              let old_mask = task.Kernel.Task.sigmask in
-              let block =
-                if action.sa_flags land sa_nodefer <> 0 then action.sa_mask
-                else Sigset.add action.sa_mask signo
-              in
-              task.Kernel.Task.sigmask <- Sigset.union old_mask block;
-              let result = Interp.call_nested m f [ Values.I32 (Int32.of_int signo) ] in
-              task.Kernel.Task.sigmask <- old_mask;
-              (match result with
-              | Interp.R_done _ -> ()
-              | Interp.R_trap msg ->
-                  Values.trap "trap in signal handler: %s" msg
-              | Interp.R_exit _ -> () (* unreachable: exits raise *));
-              (* more signals may have arrived meanwhile *)
-              deliver_signals eng p m
+          observe None;
+          run_signal_handler eng p m ~signo ~action;
+          (* more signals may have arrived meanwhile *)
+          deliver_signals eng p m
         end
   end
 
 let poll_hook eng : Rt.machine -> unit =
  fun m ->
   let p = proc_of eng m in
+  (match eng.interpose with Some ip -> ip.ip_poll eng p m | None -> ());
   deliver_signals eng p m
 
 (* ------------------------------------------------------------------ *)

@@ -755,13 +755,22 @@ let dispatch eng name m args : Rt.host_outcome =
 let traced_dispatch eng name (m : Rt.machine) (args : Values.value array) :
     Rt.host_outcome =
   let p = Engine.proc_of eng m in
-  (match Seccomp.check eng.Engine.policy name with
-  | Seccomp.Allow -> ()
-  | Seccomp.Deny e -> raise (Sys_ret (errno_ret e))
-  | Seccomp.Kill ->
-      raise (Engine.Killed_by (Ktypes.wsignal_status Ktypes.sigsys)));
+  (* The live path: seccomp decision + kernel dispatch. An interposer
+     (record/replay) wraps this thunk — the recorder runs it and logs the
+     outcome, the replayer substitutes the logged outcome for it. *)
+  let live () =
+    match Seccomp.check eng.Engine.policy name with
+    | Seccomp.Allow -> dispatch eng name m args
+    | Seccomp.Deny e -> Rt.H_return [ Values.I64 (errno_ret e) ]
+    | Seccomp.Kill ->
+        raise (Engine.Killed_by (Ktypes.wsignal_status Ktypes.sigsys))
+  in
   let t0 = Fiber.now () in
-  let outcome = dispatch eng name m args in
+  let outcome =
+    match eng.Engine.interpose with
+    | Some ip -> ip.Engine.ip_dispatch eng p name m args live
+    | None -> live ()
+  in
   let t1 = Fiber.now () in
   (* Linux delivers pending signals on return to userspace from any
      syscall; mirror that by polling before handing the result back
@@ -780,10 +789,6 @@ let traced_dispatch eng name (m : Rt.machine) (args : Values.value array) :
         ~args:(Array.to_list (Array.map Values.as_i64 args))
         ~result:0L ~ns:(Int64.sub t1 t0));
   outcome
-
-let traced_dispatch eng name m args =
-  try traced_dispatch eng name m args
-  with Sys_ret v -> Rt.H_return [ Values.I64 v ]
 
 let i64s n = List.init n (fun _ -> Types.T_i64)
 
@@ -845,12 +850,20 @@ let thread_spawn_host_func eng : Rt.func_inst =
       hf_fn =
         (fun m args ->
           let p = Engine.proc_of eng m in
-          let tid =
-            do_thread_spawn eng p m
-              ~entry_idx:(Int32.to_int (Values.as_i32 args.(0)))
-              ~arg:(Int32.to_int (Values.as_i32 args.(1)))
+          (* thread_spawn creates engine structure (a fiber and a
+             machine), so like fork it must be interposable: replay
+             re-executes it live and validates the resulting tid. *)
+          let live () =
+            let tid =
+              do_thread_spawn eng p m
+                ~entry_idx:(Int32.to_int (Values.as_i32 args.(0)))
+                ~arg:(Int32.to_int (Values.as_i32 args.(1)))
+            in
+            Rt.H_return [ Values.I32 (Int64.to_int32 tid) ]
           in
-          Rt.H_return [ Values.I32 (Int64.to_int32 tid) ]);
+          match eng.Engine.interpose with
+          | Some ip -> ip.Engine.ip_dispatch eng p "thread_spawn" m args live
+          | None -> live ());
     }
 
 (** The engine's import resolver for the ["wali"] namespace. *)

@@ -40,10 +40,34 @@ let note t ~pid ~name ~args ~(result : int64) ~ns =
     match t.log with Some f -> f line | None -> prerr_endline line
   end
 
-(** (name, calls) sorted by frequency, most frequent first. *)
+(* Frequency order with a deterministic tie-break: equal-count syscalls
+   sort by name, not by hashtable iteration order. *)
+let by_freq count a b =
+  match compare (count b) (count a) with
+  | 0 -> compare (fst a) (fst b)
+  | c -> c
+
+(** (name, calls) sorted by frequency, most frequent first; ties break
+    alphabetically so the profile is stable across runs. *)
 let profile t : (string * int) list =
   Hashtbl.fold (fun name r acc -> (name, r.calls) :: acc) t.counts []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (by_freq snd)
+
+(** Per-syscall aggregate beyond the raw call count: error returns and
+    total time spent below the WALI boundary. *)
+type info = { i_calls : int; i_errors : int; i_ns : int64 }
+
+let info_of r = { i_calls = r.calls; i_errors = r.errors; i_ns = r.ns }
+
+(** (name, info) in the same deterministic order as [profile]. *)
+let profile_info t : (string * info) list =
+  Hashtbl.fold (fun name r acc -> (name, info_of r) :: acc) t.counts []
+  |> List.sort (by_freq (fun (_, i) -> i.i_calls))
+
+let info t name = Option.map info_of (Hashtbl.find_opt t.counts name)
+
+let total_errors t =
+  Hashtbl.fold (fun _ r acc -> acc + r.errors) t.counts 0
 
 let unique_syscalls t = Hashtbl.length t.counts
 

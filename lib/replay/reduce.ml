@@ -1,0 +1,69 @@
+(** Trace reduction.
+
+    Every record in a trace is load-bearing for replay — the ordering
+    validator consumes each one — so the reducer shrinks the *encoding*,
+    not the event count: raw memory regions are rewritten with zero runs
+    compressed into [R_zeros] run-length records (mmap/brk zero fills and
+    sparse poll/select bitmaps dominate raw traces), and zero-length
+    regions are dropped.
+
+    For divergence minimization there is also [truncate], which keeps
+    only the first [n] events: replaying a truncated trace stops (with a
+    coverage divergence) right after the interesting prefix, which is the
+    standard way to bisect a long trace down to the record that first
+    goes wrong. *)
+
+(* Zero runs shorter than this stay raw: an R_zeros record costs a few
+   varint bytes, so tiny runs are not worth splitting a region over. *)
+let min_zero_run = 16
+
+let split_region (addr : int) (s : string) : Trace.region list =
+  let n = String.length s in
+  let out = ref [] in
+  let flush_raw lo hi =
+    if hi > lo then out := Trace.R_bytes (addr + lo, String.sub s lo (hi - lo)) :: !out
+  in
+  let i = ref 0 and raw_start = ref 0 in
+  while !i < n do
+    if s.[!i] = '\000' then begin
+      let z = ref !i in
+      while !z < n && s.[!z] = '\000' do incr z done;
+      if !z - !i >= min_zero_run then begin
+        flush_raw !raw_start !i;
+        out := Trace.R_zeros (addr + !i, !z - !i) :: !out;
+        raw_start := !z
+      end;
+      i := !z
+    end
+    else incr i
+  done;
+  flush_raw !raw_start n;
+  List.rev !out
+
+let reduce_region = function
+  | Trace.R_bytes (_, "") -> []
+  | Trace.R_bytes (addr, s) -> split_region addr s
+  | Trace.R_zeros (_, 0) -> []
+  | Trace.R_zeros _ as r -> [ r ]
+
+let reduce_event = function
+  | Trace.E_syscall sc ->
+      Trace.E_syscall
+        {
+          sc with
+          Trace.sc_regions =
+            List.concat_map reduce_region sc.Trace.sc_regions;
+        }
+  | ev -> ev
+
+(** Semantics-preserving shrink: replaying the reduced trace applies the
+    exact same bytes. *)
+let reduce (t : Trace.t) : Trace.t =
+  { t with Trace.tr_events = Array.map reduce_event t.Trace.tr_events }
+
+(** Keep only the first [n] events (for divergence bisection). *)
+let truncate (t : Trace.t) ~(n : int) : Trace.t =
+  let n = max 0 (min n (Array.length t.Trace.tr_events)) in
+  { t with Trace.tr_events = Array.sub t.Trace.tr_events 0 n }
+
+let byte_size (t : Trace.t) : int = String.length (Trace.encode t)

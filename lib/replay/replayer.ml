@@ -1,0 +1,456 @@
+(** The replayer: re-runs a module with the simulated kernel swapped out
+    for the trace log.
+
+    Data-class syscalls are injected — result and kernel-written memory
+    bytes come straight from the log and the kernel is never consulted.
+    Live-class calls (fork/exec/exit/thread_spawn/rt_sigaction) re-execute
+    through the engine, because they create real engine structure, and
+    their outcomes are validated against the log. The recorded global
+    event order doubles as the scheduler oracle: a fiber whose next
+    action is not the globally-next record spin-yields until it is, which
+    forces the recorded interleaving; a bounded stall counter turns any
+    impossible schedule into a divergence instead of a livelock. Signal
+    deliveries are re-injected when a machine's counted safepoint-poll
+    counter reaches the recorded coordinate.
+
+    The first mismatch — name, args, result, memory delta, exit status,
+    ordering — aborts the run and is reported with the event index and a
+    readable expected/actual diff. *)
+
+open Wasm
+open Wali
+
+type divergence = {
+  d_index : int; (* event index in the trace (-1: pre-run check) *)
+  d_pid : int;
+  d_kind : string; (* "name" | "args" | "result" | "memory" | ... *)
+  d_expected : string;
+  d_actual : string;
+}
+
+exception Diverged of divergence
+
+let pp_divergence (d : divergence) : string =
+  Printf.sprintf
+    "divergence at record #%d (pid %d): %s mismatch\n  expected: %s\n  actual:   %s"
+    d.d_index d.d_pid d.d_kind d.d_expected d.d_actual
+
+type outcome = {
+  rp_status : int; (* replayed init exit status (packed) *)
+  rp_consumed : int;
+  rp_total : int;
+  rp_divergence : divergence option;
+  rp_errors : int; (* error returns seen during replay (Strace) *)
+}
+
+let converged (o : outcome) = o.rp_divergence = None
+
+(* How many consecutive scheduler yields without global-cursor progress
+   before we call the replay stalled. Generous: every blocked fiber
+   burns one per scheduler round-trip while others make real progress. *)
+let stall_limit = 200_000
+
+type state = {
+  st_trace : Trace.t;
+  mutable st_cursor : int; (* next event index to consume *)
+  st_queues : (int, int Queue.t) Hashtbl.t; (* pid -> its event indices *)
+  st_polls : (int, int ref) Hashtbl.t; (* pid -> safepoint-poll counter *)
+  mutable st_stall : int;
+  mutable st_div : divergence option;
+}
+
+let make (trace : Trace.t) : state =
+  let queues = Hashtbl.create 8 in
+  Array.iteri
+    (fun i ev ->
+      let pid =
+        match ev with
+        | Trace.E_syscall sc -> sc.Trace.sc_pid
+        | Trace.E_signal sg -> sg.Trace.sg_pid
+        | Trace.E_exit ex -> ex.Trace.ex_pid
+      in
+      let q =
+        match Hashtbl.find_opt queues pid with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.add queues pid q;
+            q
+      in
+      Queue.push i q)
+    trace.Trace.tr_events;
+  {
+    st_trace = trace;
+    st_cursor = 0;
+    st_queues = queues;
+    st_polls = Hashtbl.create 8;
+    st_stall = 0;
+    st_div = None;
+  }
+
+let queue st pid =
+  match Hashtbl.find_opt st.st_queues pid with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add st.st_queues pid q;
+      q
+
+let counter st pid =
+  match Hashtbl.find_opt st.st_polls pid with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add st.st_polls pid r;
+      r
+
+let diverge st ~index ~pid ~kind ~expected ~actual : 'a =
+  let d =
+    { d_index = index; d_pid = pid; d_kind = kind; d_expected = expected;
+      d_actual = actual }
+  in
+  if st.st_div = None then st.st_div <- Some d;
+  raise (Diverged d)
+
+let fmt_call name (args : int64 array) =
+  Printf.sprintf "%s(%s)" name (Trace.pp_args args)
+
+(* Wait until pid's next recorded event is the globally-next one,
+   yielding to let the fibers that own the intervening records run. *)
+let rec wait_turn st pid ~(doing : string) : Trace.event * int =
+  match Queue.peek_opt (queue st pid) with
+  | None ->
+      diverge st ~index:(Array.length st.st_trace.Trace.tr_events) ~pid
+        ~kind:"extra event" ~expected:"no more events for this pid"
+        ~actual:doing
+  | Some i when i = st.st_cursor -> (st.st_trace.Trace.tr_events.(i), i)
+  | Some i ->
+      st.st_stall <- st.st_stall + 1;
+      if st.st_stall > stall_limit then
+        diverge st ~index:st.st_cursor ~pid ~kind:"schedule"
+          ~expected:
+            (Printf.sprintf "globally-next record %s"
+               (Trace.pp_event st.st_trace.Trace.tr_events.(st.st_cursor)))
+          ~actual:
+            (Printf.sprintf "stalled at %s (pid's next record is #%d)" doing i);
+      Fiber.yield ();
+      wait_turn st pid ~doing
+
+let consume st pid =
+  let q = queue st pid in
+  (match Queue.take_opt q with
+  | Some i -> assert (i = st.st_cursor)
+  | None -> assert false);
+  st.st_cursor <- st.st_cursor + 1;
+  st.st_stall <- 0
+
+let arg_i64 = Recorder.arg_i64
+
+let hex (s : string) =
+  String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.of_seq (String.to_seq s))))
+
+(* Replay-side memory handling for an injected record: grow to the
+   recorded size, then apply the recorded kernel writes. *)
+let apply_regions st (mem : Rt.Memory.t) (r : Trace.syscall) (idx : int) =
+  let size = Rt.Memory.size_bytes mem in
+  List.iter
+    (fun region ->
+      let addr = Trace.region_addr region in
+      let len = Trace.region_len region in
+      if addr < 0 || len < 0 || addr + len > size then
+        diverge st ~index:idx ~pid:r.Trace.sc_pid ~kind:"memory"
+          ~expected:(Printf.sprintf "region [%d, +%d) within %d-byte memory" addr len size)
+          ~actual:"region out of bounds on replay"
+      else
+        match region with
+        | Trace.R_bytes (_, s) ->
+            Bytes.blit_string s 0 mem.Rt.Memory.data addr (String.length s)
+        | Trace.R_zeros (_, n) -> Bytes.fill mem.Rt.Memory.data addr n '\000')
+    r.Trace.sc_regions
+
+(* For live-class calls the kernel wrote memory itself; check it matches
+   the recording and report the delta when it does not. *)
+let validate_regions st (mem : Rt.Memory.t) (r : Trace.syscall) (idx : int) =
+  let size = Rt.Memory.size_bytes mem in
+  List.iter
+    (fun region ->
+      let addr = Trace.region_addr region in
+      let len = Trace.region_len region in
+      if addr >= 0 && len > 0 && addr + len <= size then begin
+        let actual = Bytes.sub_string mem.Rt.Memory.data addr len in
+        let expected =
+          match region with
+          | Trace.R_bytes (_, s) -> s
+          | Trace.R_zeros (_, n) -> String.make n '\000'
+        in
+        if actual <> expected then
+          diverge st ~index:idx ~pid:r.Trace.sc_pid ~kind:"memory"
+            ~expected:
+              (Printf.sprintf "%s wrote [%d, +%d) = %s" r.Trace.sc_name addr
+                 len (hex expected))
+            ~actual:(Printf.sprintf "[%d, +%d) = %s" addr len (hex actual))
+      end)
+    r.Trace.sc_regions
+
+let rec inject_signals st eng (p : Engine.proc) (m : Rt.machine) =
+  let pid = m.Rt.m_pid in
+  let c = counter st pid in
+  match Queue.peek_opt (queue st pid) with
+  | Some i -> (
+      match st.st_trace.Trace.tr_events.(i) with
+      | Trace.E_signal sg ->
+          if sg.Trace.sg_poll < !c then
+            diverge st ~index:i ~pid ~kind:"signal"
+              ~expected:
+                (Printf.sprintf "delivery of signal %d at safepoint %d"
+                   sg.Trace.sg_signo sg.Trace.sg_poll)
+              ~actual:
+                (Printf.sprintf "safepoint %d already passed without it" !c)
+          else if sg.Trace.sg_poll = !c then begin
+            (* ordering: other pids' earlier records must land first *)
+            while st.st_cursor < i do
+              st.st_stall <- st.st_stall + 1;
+              if st.st_stall > stall_limit then
+                diverge st ~index:st.st_cursor ~pid ~kind:"schedule"
+                  ~expected:
+                    (Printf.sprintf "globally-next record %s"
+                       (Trace.pp_event
+                          st.st_trace.Trace.tr_events.(st.st_cursor)))
+                  ~actual:
+                    (Printf.sprintf
+                       "stalled delivering signal %d to pid %d (record #%d)"
+                       sg.Trace.sg_signo pid i);
+              Fiber.yield ()
+            done;
+            consume st pid;
+            match sg.Trace.sg_status with
+            | Some status -> raise (Engine.Killed_by status)
+            | None ->
+                let signo = sg.Trace.sg_signo in
+                let actions =
+                  p.Engine.pr_task.Kernel.Task.group.Kernel.Task.actions
+                in
+                let action =
+                  if signo >= 0 && signo < Array.length actions then
+                    actions.(signo)
+                  else Kernel.Ktypes.sigaction_default
+                in
+                if
+                  action.Kernel.Ktypes.sa_handler = Kernel.Ktypes.sig_dfl
+                  || action.Kernel.Ktypes.sa_handler = Kernel.Ktypes.sig_ign
+                then
+                  diverge st ~index:i ~pid ~kind:"signal"
+                    ~expected:
+                      (Printf.sprintf
+                         "a handler registered for signal %d (recorded run ran one)"
+                         signo)
+                    ~actual:"no handler registered at this point on replay"
+                else begin
+                  Engine.run_signal_handler eng p m ~signo ~action;
+                  (* further deliveries may be recorded at this same
+                     safepoint (or the handler's own polls advanced c) *)
+                  inject_signals st eng p m
+                end
+          end
+      | _ -> ())
+  | None -> ()
+
+let ip_poll st eng (p : Engine.proc) (m : Rt.machine) =
+  incr (counter st m.Rt.m_pid);
+  inject_signals st eng p m
+
+let ip_dispatch st _eng (_p : Engine.proc) name (m : Rt.machine) args live =
+  let pid = m.Rt.m_pid in
+  let argv = Array.map arg_i64 args in
+  let doing = fmt_call name argv in
+  let ev, idx = wait_turn st pid ~doing in
+  match ev with
+  | Trace.E_exit ex ->
+      (* the recorded run died at this point (seccomp kill, fatal trap)
+         without completing the call; reproduce the death. The exit
+         record itself is consumed and validated in on_proc_exit. *)
+      raise (Engine.Killed_by ex.Trace.ex_status)
+  | Trace.E_signal sg ->
+      diverge st ~index:idx ~pid ~kind:"signal"
+        ~expected:
+          (Printf.sprintf "delivery of signal %d at safepoint %d"
+             sg.Trace.sg_signo sg.Trace.sg_poll)
+        ~actual:(Printf.sprintf "syscall entry %s" doing)
+  | Trace.E_syscall r ->
+      if r.Trace.sc_name <> name then
+        diverge st ~index:idx ~pid ~kind:"name"
+          ~expected:(fmt_call r.Trace.sc_name r.Trace.sc_args)
+          ~actual:doing;
+      if r.Trace.sc_args <> argv then
+        diverge st ~index:idx ~pid ~kind:"args"
+          ~expected:(fmt_call r.Trace.sc_name r.Trace.sc_args)
+          ~actual:doing;
+      consume st pid;
+      let check_result (actual : int64) =
+        if actual <> r.Trace.sc_result then
+          diverge st ~index:idx ~pid ~kind:"result"
+            ~expected:(Printf.sprintf "%s = %Ld" doing r.Trace.sc_result)
+            ~actual:(Printf.sprintf "%s = %Ld" doing actual)
+      in
+      if Writeset.classify name = Writeset.Live then begin
+        match live () with
+        | Rt.H_return [ Values.I64 v ] as o ->
+            check_result v;
+            validate_regions st (Rt.memory0 m) r idx;
+            o
+        | Rt.H_return [ Values.I32 v ] as o ->
+            check_result (Int64.of_int32 v);
+            o
+        | Rt.H_return _ as o -> o
+        | Rt.H_exit code as o ->
+            check_result (Int64.of_int code);
+            o
+        | Rt.H_exec mk ->
+            check_result 0L;
+            Rt.H_exec mk
+        | Rt.H_trap _ as o -> o
+        | Rt.H_fork cb ->
+            Rt.H_fork
+              (fun child ->
+                let v = cb child in
+                check_result v;
+                v)
+      end
+      else begin
+        (* inject: the kernel is not consulted *)
+        let mem = Rt.memory0 m in
+        let cur = Rt.Memory.size_pages mem in
+        if r.Trace.sc_pages > cur then
+          ignore (Rt.Memory.grow mem (r.Trace.sc_pages - cur));
+        apply_regions st mem r idx;
+        (* replicate the safepoint polls the live handler performs
+           internally, so delivery coordinates stay aligned *)
+        for _ = 1 to Writeset.polls_inside name do
+          match m.Rt.poll_hook with Some f -> f m | None -> ()
+        done;
+        Rt.H_return [ Values.I64 r.Trace.sc_result ]
+      end
+
+(* Validate a process exit against its recorded exit event. *)
+let on_exit st (q : Engine.proc) (status : int) =
+  let pid = q.Engine.pr_task.Kernel.Task.tid in
+  let doing = Printf.sprintf "exit with status 0x%x" status in
+  let ev, idx = wait_turn st pid ~doing in
+  match ev with
+  | Trace.E_exit ex ->
+      if ex.Trace.ex_status <> status then
+        diverge st ~index:idx ~pid ~kind:"exit status"
+          ~expected:(Printf.sprintf "exit with status 0x%x" ex.Trace.ex_status)
+          ~actual:doing;
+      consume st pid
+  | other ->
+      diverge st ~index:idx ~pid ~kind:"exit"
+        ~expected:(Trace.pp_event other) ~actual:doing
+
+let interposer (st : state) : Engine.interposer =
+  {
+    Engine.ip_dispatch = (fun eng p name m args live ->
+        ip_dispatch st eng p name m args live);
+    ip_poll = (fun eng p m -> ip_poll st eng p m);
+    ip_signal = (fun _ _ _ ~signo:_ ~status:_ -> ());
+    ip_virtual_signals = true;
+  }
+
+(** Replay [trace] against [binary]. [setup] re-creates the boot-time
+    VFS environment (needed only when the recorded run execve'd binaries
+    out of the VFS). The digest check refuses a binary other than the
+    recorded one unless [check_digest:false]. *)
+let replay ?(setup = fun (_ : Kernel.Task.kernel) -> ())
+    ?(check_digest = true) ~(trace : Trace.t) ~(binary : string) () : outcome
+    =
+  let total = Array.length trace.Trace.tr_events in
+  let digest = Digest.string binary in
+  if check_digest && digest <> trace.Trace.tr_header.Trace.h_digest then
+    {
+      rp_status = 0;
+      rp_consumed = 0;
+      rp_total = total;
+      rp_divergence =
+        Some
+          {
+            d_index = -1;
+            d_pid = 0;
+            d_kind = "binary digest";
+            d_expected = Digest.to_hex trace.Trace.tr_header.Trace.h_digest;
+            d_actual = Digest.to_hex digest;
+          };
+      rp_errors = 0;
+    }
+  else begin
+    let st = make trace in
+    let kernel = Kernel.Task.boot () in
+    setup kernel;
+    let strace = Strace.create () in
+    let poll_scheme =
+      match Trace.poll_scheme_of_name trace.Trace.tr_header.Trace.h_poll with
+      | Some s -> s
+      | None -> Code.Poll_loops
+    in
+    let eng = Engine.create ~poll_scheme ~trace:strace kernel in
+    eng.Engine.interpose <- Some (interposer st);
+    let status = ref 0 in
+    (try
+       Fiber.run (fun () ->
+           let p =
+             Interface.spawn_init eng ~binary
+               ~argv:trace.Trace.tr_header.Trace.h_argv
+               ~env:trace.Trace.tr_header.Trace.h_env
+           in
+           eng.Engine.on_proc_exit <-
+             Some
+               (fun q st_exit ->
+                 on_exit st q st_exit;
+                 if q == p then status := st_exit))
+     with
+    | Diverged _ -> () (* first divergence already captured in st *)
+    | Fiber.Deadlock names ->
+        if st.st_div = None then
+          st.st_div <-
+            Some
+              {
+                d_index = st.st_cursor;
+                d_pid = 0;
+                d_kind = "schedule";
+                d_expected =
+                  (if st.st_cursor < total then
+                     Trace.pp_event trace.Trace.tr_events.(st.st_cursor)
+                   else "run completion");
+                d_actual =
+                  "scheduler deadlock (suspended: "
+                  ^ String.concat ", " names ^ ")";
+              });
+    if st.st_div = None && st.st_cursor < total then
+      st.st_div <-
+        Some
+          {
+            d_index = st.st_cursor;
+            d_pid = 0;
+            d_kind = "coverage";
+            d_expected = Trace.pp_event trace.Trace.tr_events.(st.st_cursor);
+            d_actual =
+              Printf.sprintf "replay finished after %d of %d records"
+                st.st_cursor total;
+          };
+    if st.st_div = None && !status <> trace.Trace.tr_status then
+      st.st_div <-
+        Some
+          {
+            d_index = total;
+            d_pid = 0;
+            d_kind = "final status";
+            d_expected = Printf.sprintf "0x%x" trace.Trace.tr_status;
+            d_actual = Printf.sprintf "0x%x" !status;
+          };
+    {
+      rp_status = !status;
+      rp_consumed = st.st_cursor;
+      rp_total = total;
+      rp_divergence = st.st_div;
+      rp_errors = Strace.total_errors strace;
+    }
+  end

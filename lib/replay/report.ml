@@ -1,0 +1,106 @@
+(** Trace inspection: the data behind `walireplay report`.
+
+    Summarizes a trace per syscall — calls, error returns, recorded
+    kernel-write bytes — in the same deterministic order as
+    [Wali.Strace.profile] (count descending, then name), plus the
+    nondeterminism events (signal deliveries, exits). *)
+
+type row = {
+  rw_name : string;
+  rw_calls : int;
+  rw_errors : int;
+  rw_bytes : int; (* recorded kernel-written region bytes *)
+}
+
+type summary = {
+  sm_rows : row list;
+  sm_records : int;
+  sm_calls : int;
+  sm_errors : int;
+  sm_bytes : int;
+  sm_signals : int;
+  sm_exits : int;
+  sm_pids : int;
+}
+
+let summarize (t : Trace.t) : summary =
+  let tbl : (string, row ref) Hashtbl.t = Hashtbl.create 64 in
+  let pids = Hashtbl.create 8 in
+  let signals = ref 0 and exits = ref 0 in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Trace.E_syscall sc ->
+          Hashtbl.replace pids sc.Trace.sc_pid ();
+          let r =
+            match Hashtbl.find_opt tbl sc.Trace.sc_name with
+            | Some r -> r
+            | None ->
+                let r =
+                  ref
+                    {
+                      rw_name = sc.Trace.sc_name;
+                      rw_calls = 0;
+                      rw_errors = 0;
+                      rw_bytes = 0;
+                    }
+                in
+                Hashtbl.add tbl sc.Trace.sc_name r;
+                r
+          in
+          let err = if Int64.compare sc.Trace.sc_result 0L < 0 then 1 else 0 in
+          let bytes =
+            List.fold_left (fun a rg -> a + Trace.region_len rg) 0
+              sc.Trace.sc_regions
+          in
+          r :=
+            {
+              !r with
+              rw_calls = !r.rw_calls + 1;
+              rw_errors = !r.rw_errors + err;
+              rw_bytes = !r.rw_bytes + bytes;
+            }
+      | Trace.E_signal sg ->
+          Hashtbl.replace pids sg.Trace.sg_pid ();
+          incr signals
+      | Trace.E_exit ex ->
+          Hashtbl.replace pids ex.Trace.ex_pid ();
+          incr exits)
+    t.Trace.tr_events;
+  let rows =
+    Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
+    |> List.sort (fun a b ->
+           match compare b.rw_calls a.rw_calls with
+           | 0 -> compare a.rw_name b.rw_name
+           | c -> c)
+  in
+  {
+    sm_rows = rows;
+    sm_records = Array.length t.Trace.tr_events;
+    sm_calls = List.fold_left (fun a r -> a + r.rw_calls) 0 rows;
+    sm_errors = List.fold_left (fun a r -> a + r.rw_errors) 0 rows;
+    sm_bytes = List.fold_left (fun a r -> a + r.rw_bytes) 0 rows;
+    sm_signals = !signals;
+    sm_exits = !exits;
+    sm_pids = Hashtbl.length pids;
+  }
+
+let print (t : Trace.t) : unit =
+  let h = t.Trace.tr_header in
+  let s = summarize t in
+  Printf.printf "trace: app=%s argv=[%s] poll=%s digest=%s\n"
+    (if h.Trace.h_app = "" then "-" else h.Trace.h_app)
+    (String.concat " " h.Trace.h_argv)
+    h.Trace.h_poll
+    (Digest.to_hex h.Trace.h_digest);
+  Printf.printf
+    "%d records: %d syscalls (%d errors, %d kernel-written bytes), %d signal \
+     deliveries, %d exits across %d pids; final status 0x%x\n"
+    s.sm_records s.sm_calls s.sm_errors s.sm_bytes s.sm_signals s.sm_exits
+    s.sm_pids t.Trace.tr_status;
+  Printf.printf "%-18s %8s %8s %10s\n" "syscall" "calls" "errors" "bytes";
+  List.iter
+    (fun r ->
+      Printf.printf "%-18s %8d %8d %10d\n" r.rw_name r.rw_calls r.rw_errors
+        r.rw_bytes)
+    s.sm_rows

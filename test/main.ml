@@ -12,4 +12,5 @@ let () =
       ("wazi", Test_wazi.tests);
       ("mmap", Test_mmap.tests);
       ("analysis", Test_analysis.tests);
+      ("replay", Test_replay.tests);
     ]
