@@ -582,10 +582,66 @@ let replay_bench () =
      data-class calls)"
 
 (* ------------------------------------------------------------------ *)
+(* Observability: metrics-on overhead vs plain runs                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Host-time cost of running the suite with the metrics pillar on
+    (per-syscall histograms + kernel counters + run counters), versus
+    plain runs. The budget is <= 5% aggregate overhead; tracing and
+    profiling are opt-in and excluded from the budget. [smoke] runs a
+    single pass per app (the CI configuration). *)
+let observe_bench ?(smoke = false) () =
+  header "Observe: metrics-on overhead vs plain runs (lib/observe)";
+  let med f =
+    if smoke then (
+      ignore (f ());
+      f ())
+    else
+      let xs = List.sort compare [ f (); f (); f () ] in
+      List.nth xs 1
+  in
+  let timed f =
+    let t0 = now () in
+    ignore (f ());
+    ms_of_ns (Int64.sub (now ()) t0)
+  in
+  Printf.printf "%-10s %9s %9s %9s  %8s\n" "app" "plain" "metrics" "all-on"
+    "overhead";
+  let tp = ref 0.0 and tm = ref 0.0 in
+  List.iter
+    (fun (a : Apps.Suite.app) ->
+      let plain = med (fun () -> timed (fun () -> Apps.Suite.run a)) in
+      let metrics =
+        med (fun () ->
+            timed (fun () ->
+                Apps.Suite.run
+                  ~observe:(Observe.Sink.create Observe.Sink.metrics_only)
+                  a))
+      in
+      let all_on =
+        med (fun () ->
+            timed (fun () ->
+                Apps.Suite.run ~observe:(Observe.Sink.create Observe.Sink.all_on)
+                  a))
+      in
+      tp := !tp +. plain;
+      tm := !tm +. metrics;
+      Printf.printf "%-10s %8.2fm %8.2fm %8.2fm  %+7.1f%%\n"
+        a.Apps.Suite.a_name plain metrics all_on
+        ((metrics -. plain) /. plain *. 100.0))
+    Apps.Suite.all;
+  let pct = (!tm -. !tp) /. !tp *. 100.0 in
+  Printf.printf "suite: plain %.1fms, metrics %.1fms (%+.1f%% overhead, budget 5%%)\n"
+    !tp !tm pct;
+  print_endline
+    (if pct <= 5.0 then "observe overhead within budget"
+     else "observe overhead OVER budget")
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
-    "usage: bench/main.exe [all|fig2|fig3|table1|table2|table3|fig7|fig8|fig8a|analysis|replay]"
+    "usage: bench/main.exe [all|fig2|fig3|table1|table2|table3|fig7|fig8|fig8a|analysis|replay|observe [smoke]]"
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -602,6 +658,10 @@ let () =
       fig8bcd ()
   | "analysis" -> analysis_bench ()
   | "replay" -> replay_bench ()
+  | "observe" ->
+      observe_bench
+        ~smoke:(Array.length Sys.argv > 2 && Sys.argv.(2) = "smoke")
+        ()
   | "all" ->
       fig2 ();
       fig3 ();
@@ -612,5 +672,6 @@ let () =
       fig8a ();
       fig8bcd ();
       analysis_bench ();
-      replay_bench ()
+      replay_bench ();
+      observe_bench ()
   | _ -> usage ()

@@ -1,0 +1,92 @@
+(* waliobserve — the observability gate (`dune build @observe`).
+
+     dune exec bin/waliobserve.exe -- gate --quiet
+
+   Runs every bundled app with all three observability pillars on and
+   validates the artifacts:
+
+     - the Chrome trace-event JSON parses, every B/E span pair is
+       correctly nested per (pid, tid) lane and timestamps are
+       monotonic per lane (Observe.Check.check_trace);
+     - the metrics JSON parses and carries the schema header, run
+       block, per-syscall percentiles and kernel counters
+       (Observe.Check.check_metrics);
+     - the folded-stack profile is non-empty and its total weight
+       equals the sink's profiled time exactly;
+     - for the forking app (minish) the trace carries at least two
+       real process lanes beside the synthetic scheduler lane. *)
+
+open Cmdliner
+
+let check_app quiet (a : Apps.Suite.app) : bool =
+  let sink = Observe.Sink.create Observe.Sink.all_on in
+  let status, _out = Apps.Suite.run ~observe:sink a in
+  let name = a.Apps.Suite.a_name in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "waliobserve: %s: %s\n" name msg;
+        false)
+      fmt
+  in
+  match Observe.Check.check_trace (Observe.Sink.trace_json sink) with
+  | Error e -> fail "trace: %s" e
+  | Ok ts -> (
+      let real_pids =
+        List.filter (fun p -> p <> Observe.Sink.sched_pid)
+          ts.Observe.Check.ts_pids
+      in
+      if ts.Observe.Check.ts_events = 0 then fail "trace is empty"
+      else if name = "minish" && List.length real_pids < 2 then
+        fail "expected >= 2 process lanes, got %d" (List.length real_pids)
+      else
+        match Observe.Check.check_metrics (Observe.Sink.metrics_json sink) with
+        | Error e -> fail "metrics: %s" e
+        | Ok () -> (
+            let folded = Observe.Sink.profile_folded sink in
+            match Observe.Check.check_folded folded with
+            | Error e -> fail "profile: %s" e
+            | Ok total ->
+                if Int64.compare total 0L <= 0 then fail "profile is empty"
+                else if not (Int64.equal total (Observe.Sink.profile_total sink))
+                then
+                  fail "profile total %Ld <> profiled time %Ld" total
+                    (Observe.Sink.profile_total sink)
+                else begin
+                  if not quiet then
+                    Printf.printf
+                      "%-10s status %-3d %6d trace events  %2d lanes  \
+                       %8Ld ns profiled\n"
+                      name (status lsr 8) ts.Observe.Check.ts_events
+                      (List.length real_pids) total;
+                  true
+                end))
+
+let gate_cmd quiet =
+  let ok =
+    List.fold_left (fun acc a -> check_app quiet a && acc) true Apps.Suite.all
+  in
+  if ok && quiet then
+    Printf.printf
+      "waliobserve: %d apps traced, metered and profiled with valid artifacts\n"
+      (List.length Apps.Suite.all);
+  exit (if ok then 0 else 1)
+
+let quiet_t =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress per-app lines.")
+
+let gate_c =
+  Cmd.v
+    (Cmd.info "gate"
+       ~doc:
+         "Run every bundled app with tracing, metrics and profiling on; \
+          fail on any malformed artifact")
+    Term.(const gate_cmd $ quiet_t)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "waliobserve"
+       ~doc:"Validate observability artifacts over the bundled app suite")
+    [ gate_c ]
+
+let () = exit (Cmd.eval cmd)

@@ -110,7 +110,7 @@ let record_cmd file app out =
 
 (* ---- replay ---- *)
 
-let replay_cmd file app wasm no_digest =
+let replay_cmd file app wasm no_digest trace_out metrics_out profile_out =
   let trace = load_trace file in
   let t =
     match (app, wasm) with
@@ -128,10 +128,39 @@ let replay_cmd file app wasm no_digest =
         prerr_endline "walireplay replay: --app and --wasm are exclusive";
         exit 2
   in
+  (* A replayed run regenerates observability artifacts from the log:
+     same per-syscall outcomes, same virtual-clock timeline. *)
+  let observe =
+    if trace_out = None && metrics_out = None && profile_out = None then None
+    else
+      Some
+        (Observe.Sink.create
+           {
+             Observe.Sink.c_metrics = metrics_out <> None;
+             c_trace = trace_out <> None;
+             c_profile = profile_out <> None;
+           })
+  in
   let o =
     Replay.Replayer.replay ~setup:t.t_setup ~check_digest:(not no_digest)
-      ~trace ~binary:t.t_binary ()
+      ?observe ~trace ~binary:t.t_binary ()
   in
+  (match observe with
+  | None -> ()
+  | Some ob ->
+      let write_file f s =
+        Out_channel.with_open_bin f (fun oc -> Out_channel.output_string oc s)
+      in
+      (match trace_out with
+      | Some f -> write_file f (Observe.Sink.trace_json ob)
+      | None -> ());
+      (match metrics_out with
+      | Some "-" -> print_string (Observe.Sink.metrics_json ob)
+      | Some f -> write_file f (Observe.Sink.metrics_json ob)
+      | None -> ());
+      (match profile_out with
+      | Some f -> write_file f (Observe.Sink.profile_folded ob)
+      | None -> ()));
   (match o.Replay.Replayer.rp_divergence with
   | None ->
       Printf.printf "%s: replay converged: %d/%d records, exit status %d\n"
@@ -238,10 +267,29 @@ let record_c =
     (Cmd.info "record" ~doc:"Record a run into a trace file")
     Term.(const record_cmd $ wasm_pos $ app_t $ out_t)
 
+let trace_out_t =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Regenerate a Chrome trace-event JSON timeline from the \
+                 replayed run into $(docv).")
+
+let metrics_t =
+  Arg.(value & opt ~vopt:(Some "-") (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Regenerate the metrics JSON dump from the replayed run \
+                 into $(docv) (stdout when omitted or -).")
+
+let profile_out_t =
+  Arg.(value & opt (some string) None
+       & info [ "profile-out" ] ~docv:"FILE"
+           ~doc:"Regenerate a folded-stack profile from the replayed \
+                 run into $(docv).")
+
 let replay_c =
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a trace and report the first divergence")
-    Term.(const replay_cmd $ file_pos $ app_t $ wasm_t $ no_digest_t)
+    Term.(const replay_cmd $ file_pos $ app_t $ wasm_t $ no_digest_t
+          $ trace_out_t $ metrics_t $ profile_out_t)
 
 let report_c =
   Cmd.v

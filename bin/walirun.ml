@@ -8,7 +8,8 @@
 
 open Cmdliner
 
-let run_cmd file app trace deny derive poll record replay args =
+let run_cmd file app trace deny derive poll record replay trace_out
+    metrics_out profile_out top args =
   (* with --app, every positional is an application argument *)
   let file, args =
     match app with
@@ -31,6 +32,41 @@ let run_cmd file app trace deny derive poll record replay args =
         exit 2
   in
   let tracer = Wali.Strace.create ~verbose:trace () in
+  (* One sink serves all three observability flags. It shares the
+     strace tracer's metrics registry, so per-syscall aggregation
+     happens exactly once (see Interface.traced_dispatch). *)
+  let observe =
+    if trace_out = None && metrics_out = None && profile_out = None && not top
+    then None
+    else
+      Some
+        (Observe.Sink.create
+           ~metrics:(Wali.Strace.metrics tracer)
+           {
+             Observe.Sink.c_metrics = metrics_out <> None || top;
+             c_trace = trace_out <> None;
+             c_profile = profile_out <> None;
+           })
+  in
+  let write_file f s =
+    Out_channel.with_open_bin f (fun oc -> Out_channel.output_string oc s)
+  in
+  let dump_observe () =
+    match observe with
+    | None -> ()
+    | Some o ->
+        (match trace_out with
+        | Some f -> write_file f (Observe.Sink.trace_json o)
+        | None -> ());
+        (match metrics_out with
+        | Some "-" -> print_string (Observe.Sink.metrics_json o)
+        | Some f -> write_file f (Observe.Sink.metrics_json o)
+        | None -> ());
+        (match profile_out with
+        | Some f -> write_file f (Observe.Sink.profile_folded o)
+        | None -> ());
+        if top then prerr_string (Observe.Sink.report o)
+  in
   let policy =
     if not derive then Wali.Seccomp.allow_all ()
     else
@@ -78,7 +114,16 @@ let run_cmd file app trace deny derive poll record replay args =
         | None -> ())
     | None -> ()
   in
-  let argv = argv0 :: args in
+  (* with --app and no explicit arguments, use the app's scripted argv
+     (the same one the test suite and walireplay drive it with) *)
+  let argv =
+    match (args, app) with
+    | [], Some name -> (
+        match Apps.Suite.find name with
+        | Some a -> a.Apps.Suite.a_argv
+        | None -> [ argv0 ])
+    | _ -> argv0 :: args
+  in
   let env = [ "HOME=/home/user"; "TERM=vt100" ] in
   let print_profile () =
     if trace then begin
@@ -105,7 +150,8 @@ let run_cmd file app trace deny derive poll record replay args =
               trace_file v;
             exit 1
       in
-      let o = Replay.Replayer.replay ~setup ~trace:tr ~binary () in
+      let o = Replay.Replayer.replay ~setup ~trace:tr ~binary ?observe () in
+      dump_observe ();
       (match o.Replay.Replayer.rp_divergence with
       | None ->
           Printf.printf "replay converged: %d/%d records, exit status %d\n"
@@ -121,7 +167,8 @@ let run_cmd file app trace deny derive poll record replay args =
       let r =
         Replay.Recorder.record
           ~app:(Option.value app ~default:"")
-          ~poll_scheme ~strace:tracer ~policy ~kernel ~binary ~argv ~env ()
+          ~poll_scheme ~strace:tracer ~policy ~kernel ~binary ~argv ~env
+          ?observe ()
       in
       let reduced = Replay.Reduce.reduce r.Replay.Recorder.r_trace in
       Replay.Trace.save trace_file reduced;
@@ -130,6 +177,7 @@ let run_cmd file app trace deny derive poll record replay args =
         (Array.length reduced.Replay.Trace.tr_events)
         (Replay.Reduce.byte_size reduced)
         trace_file;
+      dump_observe ();
       print_profile ();
       exit (r.Replay.Recorder.r_status lsr 8)
   | None, None ->
@@ -137,12 +185,13 @@ let run_cmd file app trace deny derive poll record replay args =
       setup kernel;
       let status, out, result =
         Wali.Interface.run_program ~kernel ~trace:tracer ~policy ~poll_scheme
-          ~binary ~argv ~env ()
+          ?observe ~binary ~argv ~env ()
       in
       print_string out;
       (match result with
       | Some (Wasm.Interp.R_trap msg) -> Printf.eprintf "trap: %s\n" msg
       | _ -> ());
+      dump_observe ();
       print_profile ();
       exit (status lsr 8)
 
@@ -181,10 +230,39 @@ let replay_t =
            ~doc:"Replay the run recorded in $(docv) with the kernel \
                  swapped out for the log; fails on the first divergence.")
 
+let trace_out_t =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON timeline of the run \
+                 (syscall spans, scheduler quanta, signals, process \
+                 lifecycle) to $(docv); load it in Perfetto or \
+                 chrome://tracing.")
+
+let metrics_t =
+  Arg.(value & opt ~vopt:(Some "-") (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Dump run metrics as JSON (per-syscall latency \
+                 histograms with percentiles, kernel and engine \
+                 counters) to $(docv), or stdout when $(docv) is \
+                 omitted or -.")
+
+let profile_out_t =
+  Arg.(value & opt (some string) None
+       & info [ "profile-out" ] ~docv:"FILE"
+           ~doc:"Write a folded-stack CPU profile of the run to \
+                 $(docv); feed it to flamegraph.pl or speedscope.")
+
+let top_t =
+  Arg.(value & flag
+       & info [ "top" ]
+           ~doc:"Print a walitop-style summary after the run: run \
+                 totals, syscalls sorted by time, kernel counters.")
+
 let cmd =
   Cmd.v
     (Cmd.info "walirun" ~doc:"Run WebAssembly binaries over the WALI kernel interface")
     Term.(const run_cmd $ file_t $ app_t $ trace_t $ deny_t $ derive_t
-          $ poll_t $ record_t $ replay_t $ args_t)
+          $ poll_t $ record_t $ replay_t $ trace_out_t $ metrics_t
+          $ profile_out_t $ top_t $ args_t)
 
 let () = exit (Cmd.eval cmd)

@@ -44,6 +44,9 @@ type t = {
   mutable live_procs : int;
   mutable on_proc_exit : (proc -> int -> unit) option;
   mutable interpose : interposer option;
+  mutable observe : Observe.Sink.t option;
+      (* observability sink — deliberately separate from [interpose] so
+         tracing/metrics/profiling compose with record/replay *)
 }
 
 (** Record/replay (and other tooling) hooks around the thin interface.
@@ -74,7 +77,11 @@ and interposer = {
 }
 
 let create ?(poll_scheme = Code.Poll_loops) ?(trace = Strace.create ())
-    ?(policy = Seccomp.allow_all ()) (kernel : Kernel.Task.kernel) : t =
+    ?(policy = Seccomp.allow_all ()) ?observe (kernel : Kernel.Task.kernel) : t
+    =
+  (match observe with
+  | Some o -> Observe.Sink.set_kstats o kernel.Kernel.Task.stats
+  | None -> ());
   {
     kernel;
     futexes = Kernel.Futex.create ();
@@ -86,6 +93,7 @@ let create ?(poll_scheme = Code.Poll_loops) ?(trace = Strace.create ())
     live_procs = 0;
     on_proc_exit = None;
     interpose = None;
+    observe;
   }
 
 let fresh_mem_id eng =
@@ -100,9 +108,33 @@ let proc_of eng (m : Rt.machine) : proc =
 
 let find_proc eng tid = Hashtbl.find_opt eng.procs tid
 
+(** The machine's current Wasm call stack, outermost first — the folded
+    profile's frame order. *)
+let machine_stack (m : Rt.machine) : string list =
+  List.rev_map (fun fr -> fr.Rt.fr_code.Code.fc_name) m.Rt.frames
+
+(** Install the profiler's call/return sample hook on a machine (new
+    process images and spawned threads; fork children inherit the hook
+    through [Machine.clone]). *)
+let install_prof eng (m : Rt.machine) : unit =
+  match eng.observe with
+  | Some o when Observe.Sink.profiling o ->
+      m.Rt.prof_hook <-
+        Some
+          (fun mm ->
+            Observe.Sink.prof_sample o ~pid:mm.Rt.m_pid ~steps:mm.Rt.steps
+              ~stack:(fun () -> machine_stack mm))
+  | _ -> ()
+
 let register_proc eng (p : proc) =
   Hashtbl.replace eng.procs p.pr_task.Kernel.Task.tid p;
-  eng.live_procs <- eng.live_procs + 1
+  eng.live_procs <- eng.live_procs + 1;
+  match eng.observe with
+  | Some o ->
+      let t = p.pr_task in
+      Observe.Sink.proc_start o ~pid:t.Kernel.Task.tgid ~tid:t.Kernel.Task.tid
+        ~comm:t.Kernel.Task.comm ~ts:(Fiber.now ())
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Virtual signal delivery at safepoints (paper §3.3, Fig 5)            *)
@@ -169,6 +201,12 @@ let rec deliver_signals eng (p : proc) (m : Rt.machine) : unit =
           | Some ip -> ip.ip_signal eng p m ~signo ~status
           | None -> ()
         in
+        let delivered () =
+          let ks = eng.kernel.Kernel.Task.stats in
+          ks.Observe.Metrics.sig_delivered <-
+            ks.Observe.Metrics.sig_delivered + 1
+        in
+        let pid = task.Kernel.Task.tgid and tid = task.Kernel.Task.tid in
         if action.sa_handler = sig_ign then deliver_signals eng p m
         else if action.sa_handler = sig_dfl then begin
           match default_disposition signo with
@@ -177,11 +215,28 @@ let rec deliver_signals eng (p : proc) (m : Rt.machine) : unit =
           | Term | Core ->
               let status = wsignal_status signo in
               observe (Some status);
+              delivered ();
+              (match eng.observe with
+              | Some o ->
+                  Observe.Sink.signal_fatal o ~pid ~tid ~signo
+                    ~ts:(Fiber.now ())
+              | None -> ());
               raise (Killed_by status)
         end
         else begin
           observe None;
-          run_signal_handler eng p m ~signo ~action;
+          delivered ();
+          (match eng.observe with
+          | Some o ->
+              Observe.Sink.signal_begin o ~pid ~tid ~signo ~ts:(Fiber.now ());
+              (* the handler may exit the process via Killed_by — close
+                 the span either way so the trace stays well-nested *)
+              Fun.protect
+                ~finally:(fun () ->
+                  Observe.Sink.signal_end o ~pid ~tid ~signo
+                    ~ts:(Fiber.now ()))
+                (fun () -> run_signal_handler eng p m ~signo ~action)
+          | None -> run_signal_handler eng p m ~signo ~action);
           (* more signals may have arrived meanwhile *)
           deliver_signals eng p m
         end
@@ -189,6 +244,9 @@ let rec deliver_signals eng (p : proc) (m : Rt.machine) : unit =
 
 let poll_hook eng : Rt.machine -> unit =
  fun m ->
+  (match eng.observe with
+  | Some o -> Observe.Sink.safepoint_poll o
+  | None -> ());
   let p = proc_of eng m in
   (match eng.interpose with Some ip -> ip.ip_poll eng p m | None -> ());
   deliver_signals eng p m
@@ -265,6 +323,22 @@ let do_exit eng (p : proc) ~(status : int) : unit =
   end;
   Task.exit_task eng.kernel task ~status;
   eng.live_procs <- eng.live_procs - 1;
+  (match eng.observe with
+  | Some o ->
+      (match p.pr_machine with
+      | Some m ->
+          (* Attribute the final stretch of steps, then retire the
+             machine's instruction count. *)
+          if Observe.Sink.profiling o then begin
+            Observe.Sink.prof_sample o ~pid:m.Rt.m_pid ~steps:m.Rt.steps
+              ~stack:(fun () -> machine_stack m);
+            Observe.Sink.prof_reset o ~pid:m.Rt.m_pid
+          end;
+          Observe.Sink.instr_retire o ~pid:m.Rt.m_pid ~steps:m.Rt.steps
+      | None -> ());
+      Observe.Sink.proc_exit o ~pid:task.Task.tgid ~tid:task.Task.tid ~status
+        ~ts:(Fiber.now ())
+  | None -> ());
   (match eng.on_proc_exit with
   | Some f -> f p status
   | None -> ());
@@ -291,6 +365,9 @@ let run_machine_body eng (p : proc) (m : Rt.machine) ~fresh_entry
       do_exit eng p ~status
   | `Result r ->
       p.pr_result <- Some r;
+      (match (r, eng.observe) with
+      | Interp.R_trap _, Some o -> Observe.Sink.trap o
+      | _ -> ());
       let status =
         let open Kernel.Ktypes in
         match r with

@@ -50,6 +50,14 @@ let do_fork eng (p : Engine.proc) (child_m : Rt.machine) : int64 =
     }
   in
   Engine.register_proc eng cp;
+  (* Instruction accounting: the child machine clones the parent's step
+     counter, so retire only what it executes from here on. (The cloned
+     prof_hook likewise re-baselines on the child's first sample.) *)
+  (match eng.Engine.observe with
+  | Some o ->
+      Observe.Sink.instr_baseline o ~pid:child_task.Task.tid
+        ~steps:child_m.Rt.steps
+  | None -> ());
   ignore
     (Fiber.spawn
        (Printf.sprintf "wali-pid%d" child_task.Task.tid)
@@ -97,6 +105,20 @@ let do_execve eng (p : Engine.proc) mem ~path_ptr ~argv_ptr ~envp_ptr :
           Rt.H_exec
             (fun () ->
               let task = p.Engine.pr_task in
+              (* Close the books on the replaced machine: charge its last
+                 steps and retire its instruction count; the new image
+                 starts from a fresh counter. *)
+              (match (eng.Engine.observe, p.Engine.pr_machine) with
+              | Some o, Some m_old ->
+                  if Observe.Sink.profiling o then begin
+                    Observe.Sink.prof_sample o ~pid:m_old.Rt.m_pid
+                      ~steps:m_old.Rt.steps
+                      ~stack:(fun () -> Engine.machine_stack m_old);
+                    Observe.Sink.prof_reset o ~pid:m_old.Rt.m_pid
+                  end;
+                  Observe.Sink.instr_retire o ~pid:m_old.Rt.m_pid
+                    ~steps:m_old.Rt.steps
+              | _ -> ());
               (* POSIX: caught signals reset to default across exec. *)
               let actions = task.Task.group.Task.actions in
               Array.iteri
@@ -113,6 +135,7 @@ let do_execve eng (p : Engine.proc) mem ~path_ptr ~argv_ptr ~envp_ptr :
               let m' = Rt.Machine.create inst in
               m'.Rt.m_pid <- task.Task.tid;
               m'.Rt.poll_hook <- Some (Engine.poll_hook eng);
+              Engine.install_prof eng m';
               (match Rt.exported_func inst "_start" with
               | Rt.Wasm_func { wf_inst; wf_code } ->
                   Rt.Machine.push_frame m' wf_inst wf_code
@@ -135,6 +158,7 @@ let do_thread_spawn eng (p : Engine.proc) (m : Rt.machine) ~entry_idx ~arg :
       let tm = Rt.Machine.create m.Rt.m_inst in
       tm.Rt.m_pid <- child_task.Task.tid;
       tm.Rt.poll_hook <- Some (Engine.poll_hook eng);
+      Engine.install_prof eng tm;
       let cp =
         {
           Engine.pr_task = child_task;
@@ -765,29 +789,42 @@ let traced_dispatch eng name (m : Rt.machine) (args : Values.value array) :
     | Seccomp.Kill ->
         raise (Engine.Killed_by (Ktypes.wsignal_status Ktypes.sigsys))
   in
+  let pid = p.Engine.pr_task.Task.tgid and tid = p.Engine.pr_task.Task.tid in
   let t0 = Fiber.now () in
+  (match eng.Engine.observe with
+  | Some o -> Observe.Sink.syscall_begin o ~pid ~tid ~name ~ts:t0
+  | None -> ());
   let outcome =
     match eng.Engine.interpose with
     | Some ip -> ip.Engine.ip_dispatch eng p name m args live
     | None -> live ()
   in
   let t1 = Fiber.now () in
+  let ns = Int64.sub t1 t0 in
+  let result =
+    match outcome with Rt.H_return [ Values.I64 r ] -> r | _ -> 0L
+  in
+  Strace.note eng.Engine.trace ~pid ~name
+    ~args:(Array.to_list (Array.map Values.as_i64 args))
+    ~result ~ns;
+  (match eng.Engine.observe with
+  | Some o ->
+      (* When the sink shares the tracer's registry, Strace.note above
+         already aggregated this call — don't count it twice. *)
+      if not (Observe.Sink.metrics o == Strace.metrics eng.Engine.trace) then
+        Observe.Sink.record_syscall o ~name ~result ~ns;
+      Observe.Sink.syscall_end o ~pid ~tid ~name ~ts:t1 ~ns ~result
+        ~stack:(fun () -> Engine.machine_stack m)
+  | None -> ());
   (* Linux delivers pending signals on return to userspace from any
      syscall; mirror that by polling before handing the result back
-     (complements the compiler-inserted safepoints of §3.3). *)
+     (complements the compiler-inserted safepoints of §3.3). Polling
+     after the span closes keeps the trace well-nested even when a
+     delivery terminates the process. *)
   (match outcome with
   | Rt.H_return _ -> (
       match m.Rt.poll_hook with Some f -> f m | None -> ())
   | _ -> ());
-  (match outcome with
-  | Rt.H_return [ Values.I64 r ] ->
-      Strace.note eng.Engine.trace ~pid:p.Engine.pr_task.Task.tgid ~name
-        ~args:(Array.to_list (Array.map Values.as_i64 args))
-        ~result:r ~ns:(Int64.sub t1 t0)
-  | _ ->
-      Strace.note eng.Engine.trace ~pid:p.Engine.pr_task.Task.tgid ~name
-        ~args:(Array.to_list (Array.map Values.as_i64 args))
-        ~result:0L ~ns:(Int64.sub t1 t0));
   outcome
 
 let i64s n = List.init n (fun _ -> Types.T_i64)
@@ -901,6 +938,7 @@ let spawn_init (eng : Engine.t) ~(binary : string) ~(argv : string list)
   let m = Rt.Machine.create inst in
   m.Rt.m_pid <- task.Task.tid;
   m.Rt.poll_hook <- Some (Engine.poll_hook eng);
+  Engine.install_prof eng m;
   let p =
     {
       Engine.pr_task = task;
@@ -923,21 +961,27 @@ let spawn_init (eng : Engine.t) ~(binary : string) ~(argv : string list)
     result). Used by tests, examples and benches. *)
 let run_program ?(kernel : Task.kernel option) ?(poll_scheme = Code.Poll_loops)
     ?(trace : Strace.t option) ?(policy : Seccomp.t option)
-    ~(binary : string) ~(argv : string list) ~(env : string list) () :
+    ?(observe : Observe.Sink.t option) ~(binary : string)
+    ~(argv : string list) ~(env : string list) () :
     int * string * Interp.run_result option =
   let kernel = match kernel with Some k -> k | None -> Task.boot () in
   let trace = match trace with Some t -> t | None -> Strace.create () in
   let policy = match policy with Some p -> p | None -> Seccomp.allow_all () in
-  let eng = Engine.create ~poll_scheme ~trace ~policy kernel in
+  let eng = Engine.create ~poll_scheme ~trace ~policy ?observe kernel in
   let status = ref 0 in
   let result = ref None in
-  Fiber.run (fun () ->
-      let p = spawn_init eng ~binary ~argv ~env in
-      eng.Engine.on_proc_exit <-
-        Some
-          (fun q st ->
-            if q == p then begin
-              status := st;
-              result := q.Engine.pr_result
-            end));
+  (match observe with Some o -> Observe.Sink.attach o | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      match observe with Some o -> Observe.Sink.detach o | None -> ())
+    (fun () ->
+      Fiber.run (fun () ->
+          let p = spawn_init eng ~binary ~argv ~env in
+          eng.Engine.on_proc_exit <-
+            Some
+              (fun q st ->
+                if q == p then begin
+                  status := st;
+                  result := q.Engine.pr_result
+                end)));
   (!status, Task.console_output kernel, !result)

@@ -1,40 +1,41 @@
 (** Syscall tracing and profiling (the WALI_VERBOSE analogue, and the
-    data source for the Fig 2 syscall profile). *)
+    data source for the Fig 2 syscall profile).
 
-type record = {
-  mutable calls : int;
-  mutable errors : int;
-  mutable ns : int64; (* total time in the WALI layer + kernel *)
-}
+    The per-syscall aggregation itself lives in {!Observe.Metrics} — this
+    module is a thin consumer that adds the verbose strace-style line
+    rendering and the frequency-ordered profile views. An observability
+    sink can share the same registry (see {!of_metrics} / {!metrics}) so
+    each WALI crossing is counted exactly once, whoever is looking. *)
 
 type t = {
-  counts : (string, record) Hashtbl.t;
+  reg : Observe.Metrics.t;
   mutable verbose : bool;
   mutable log : (string -> unit) option;
-  mutable total : int;
 }
 
 let create ?(verbose = false) () =
-  { counts = Hashtbl.create 64; verbose; log = None; total = 0 }
+  { reg = Observe.Metrics.create (); verbose; log = None }
 
-let record_of t name =
-  match Hashtbl.find_opt t.counts name with
-  | Some r -> r
-  | None ->
-      let r = { calls = 0; errors = 0; ns = 0L } in
-      Hashtbl.replace t.counts name r;
-      r
+(** A tracer over an existing registry (shared with an observability
+    sink, or replaying a recorded run into a fresh view). *)
+let of_metrics ?(verbose = false) reg = { reg; verbose; log = None }
+
+let metrics t = t.reg
+
+(* Values at or above 64 KiB are almost always addresses, buffer lengths
+   don't reach them in practice, and flag words stay small — render those
+   in hex so pointers are readable. The cutoff is fixed, keeping the
+   format deterministic. *)
+let pp_arg (v : int64) : string =
+  if Int64.compare v 0x10000L >= 0 then Printf.sprintf "0x%Lx" v
+  else Int64.to_string v
 
 let note t ~pid ~name ~args ~(result : int64) ~ns =
-  let r = record_of t name in
-  r.calls <- r.calls + 1;
-  if Int64.compare result 0L < 0 then r.errors <- r.errors + 1;
-  r.ns <- Int64.add r.ns ns;
-  t.total <- t.total + 1;
+  Observe.Metrics.record t.reg ~name ~result ~ns;
   if t.verbose then begin
     let line =
       Printf.sprintf "[%d] %s(%s) = %Ld" pid name
-        (String.concat ", " (List.map Int64.to_string args))
+        (String.concat ", " (List.map pp_arg args))
         result
     in
     match t.log with Some f -> f line | None -> prerr_endline line
@@ -50,32 +51,31 @@ let by_freq count a b =
 (** (name, calls) sorted by frequency, most frequent first; ties break
     alphabetically so the profile is stable across runs. *)
 let profile t : (string * int) list =
-  Hashtbl.fold (fun name r acc -> (name, r.calls) :: acc) t.counts []
+  Observe.Metrics.fold
+    (fun name (s : Observe.Metrics.syscall_stats) acc ->
+      (name, s.Observe.Metrics.calls) :: acc)
+    t.reg []
   |> List.sort (by_freq snd)
 
 (** Per-syscall aggregate beyond the raw call count: error returns and
     total time spent below the WALI boundary. *)
 type info = { i_calls : int; i_errors : int; i_ns : int64 }
 
-let info_of r = { i_calls = r.calls; i_errors = r.errors; i_ns = r.ns }
+let info_of (s : Observe.Metrics.syscall_stats) =
+  {
+    i_calls = s.Observe.Metrics.calls;
+    i_errors = s.Observe.Metrics.errors;
+    i_ns = s.Observe.Metrics.ns;
+  }
 
 (** (name, info) in the same deterministic order as [profile]. *)
 let profile_info t : (string * info) list =
-  Hashtbl.fold (fun name r acc -> (name, info_of r) :: acc) t.counts []
+  Observe.Metrics.fold (fun name s acc -> (name, info_of s) :: acc) t.reg []
   |> List.sort (by_freq (fun (_, i) -> i.i_calls))
 
-let info t name = Option.map info_of (Hashtbl.find_opt t.counts name)
-
-let total_errors t =
-  Hashtbl.fold (fun _ r acc -> acc + r.errors) t.counts 0
-
-let unique_syscalls t = Hashtbl.length t.counts
-
-let total_calls t = t.total
-
-let total_ns t =
-  Hashtbl.fold (fun _ r acc -> Int64.add acc r.ns) t.counts 0L
-
-let reset t =
-  Hashtbl.reset t.counts;
-  t.total <- 0
+let info t name = Option.map info_of (Observe.Metrics.find t.reg name)
+let total_errors t = Observe.Metrics.total_errors t.reg
+let unique_syscalls t = Observe.Metrics.unique t.reg
+let total_calls t = Observe.Metrics.total_calls t.reg
+let total_ns t = Observe.Metrics.total_ns t.reg
+let reset t = Observe.Metrics.reset t.reg

@@ -79,6 +79,18 @@ exception Deadlock of string list
 
 let tick_ns = 1_000L
 
+(* Scheduler observation hook (for the observability sink): called once
+   per quantum with the fiber that ran and the clock after the quantum,
+   and once per idle clock jump with the skipped delta. Summing tick_ns
+   per quantum plus the idle deltas reproduces the final clock exactly. *)
+type observer = {
+  ob_quantum : t -> int64 -> unit;
+  ob_idle : int64 -> unit;
+}
+
+let observer : observer option ref = ref None
+let set_observer ob = observer := ob
+
 let scheduler : sched option ref = ref None
 
 let sched () =
@@ -196,15 +208,22 @@ let run main =
           let thunk = Queue.pop s.runq in
           s.clock <- Int64.add s.clock tick_ns;
           thunk ();
+          (match (!observer, s.cur) with
+          | Some ob, Some f -> ob.ob_quantum f s.clock
+          | _ -> ());
           s.cur <- None;
           fire_due ();
           loop ()
         end
         else if not (Timer_heap.is_empty s.timers) then begin
           (* Everyone is blocked: jump the clock to the next deadline. *)
-          s.clock <-
-            (let t = (Timer_heap.peek s.timers).Timer_heap.time in
-             if Int64.compare t s.clock > 0 then t else s.clock);
+          (let t = (Timer_heap.peek s.timers).Timer_heap.time in
+           if Int64.compare t s.clock > 0 then begin
+             (match !observer with
+             | Some ob -> ob.ob_idle (Int64.sub t s.clock)
+             | None -> ());
+             s.clock <- t
+           end);
           fire_due ();
           loop ()
         end

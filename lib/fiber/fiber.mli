@@ -55,3 +55,21 @@ val run : (unit -> unit) -> unit
 
 val alive : unit -> int
 (** Number of fibers spawned and not yet finished (including current). *)
+
+val tick_ns : int64
+(** Virtual-clock advance per scheduling quantum. *)
+
+type observer = {
+  ob_quantum : t -> int64 -> unit;
+      (** [ob_quantum f clock] after each quantum: [f] ran during
+          [[clock - tick_ns, clock]]. *)
+  ob_idle : int64 -> unit;
+      (** [ob_idle delta] when the clock jumps over an idle period of
+          [delta] ns (all fibers blocked on timers). *)
+}
+(** Scheduler observation hook. [tick_ns] per quantum plus the idle
+    deltas sum to the final clock exactly. *)
+
+val set_observer : observer option -> unit
+(** Install (or clear) the global scheduler observer. Takes effect
+    immediately, including for an already-running scheduler. *)

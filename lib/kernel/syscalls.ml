@@ -11,6 +11,36 @@ let make_ctx k t futexes = { k; t; futexes }
 
 let count ctx = ctx.k.Task.syscall_count <- Int64.add ctx.k.Task.syscall_count 1L
 
+(* Always-on kernel counters (observability): cheap inline tallies read
+   out by the sink at dump time. *)
+let kstats ctx = ctx.k.Task.stats
+let vfs_op ctx op = Observe.Metrics.vfs_op (kstats ctx) op
+
+(* Track the fd-table high-water mark on every fd-returning path. *)
+let noting ctx (r : int Errno.result) : int Errno.result =
+  (match r with
+  | Ok fd -> Observe.Metrics.note_fd (kstats ctx) fd
+  | Error _ -> ());
+  r
+
+let tally_pipe ctx (r : int Errno.result) : int Errno.result =
+  (match r with
+  | Ok n when n > 0 ->
+      let s = kstats ctx in
+      s.Observe.Metrics.pipe_bytes <-
+        Int64.add s.Observe.Metrics.pipe_bytes (Int64.of_int n)
+  | _ -> ());
+  r
+
+let tally_sock ctx (r : int Errno.result) : int Errno.result =
+  (match r with
+  | Ok n when n > 0 ->
+      let s = kstats ctx in
+      s.Observe.Metrics.sock_bytes <-
+        Int64.add s.Observe.Metrics.sock_bytes (Int64.of_int n)
+  | _ -> ());
+  r
+
 let nonblock_of d = d.Fdtab.d_flags land o_nonblock <> 0
 
 (* ------------------------------------------------------------------ *)
@@ -28,7 +58,7 @@ let desc_read ctx (d : Fdtab.desc) buf off len : int Errno.result =
           d.Fdtab.d_pos <- d.Fdtab.d_pos + n;
           Ok n
       | Vfs.Dir _ -> Error Errno.EISDIR
-      | Vfs.Fifo p -> Pipe.read p ~intr ~nonblock buf off len
+      | Vfs.Fifo p -> tally_pipe ctx (Pipe.read p ~intr ~nonblock buf off len)
       | Vfs.Chardev cd -> cd.Vfs.cd_read ~intr ~nonblock buf off len
       | Vfs.Symlink _ | Vfs.Gen _ -> Error Errno.EINVAL)
   | Fdtab.F_gen s ->
@@ -40,13 +70,13 @@ let desc_read ctx (d : Fdtab.desc) buf off len : int Errno.result =
         d.Fdtab.d_pos <- d.Fdtab.d_pos + n;
         Ok n
       end
-  | Fdtab.F_pipe_r p -> Pipe.read p ~intr ~nonblock buf off len
+  | Fdtab.F_pipe_r p -> tally_pipe ctx (Pipe.read p ~intr ~nonblock buf off len)
   | Fdtab.F_pipe_w _ -> Error Errno.EBADF
   | Fdtab.F_fifo (p, has_r, _) ->
-      if has_r then Pipe.read p ~intr ~nonblock buf off len
+      if has_r then tally_pipe ctx (Pipe.read p ~intr ~nonblock buf off len)
       else Error Errno.EBADF
   | Fdtab.F_chardev cd -> cd.Vfs.cd_read ~intr ~nonblock buf off len
-  | Fdtab.F_sock s -> Socket.read s ~intr ~nonblock buf off len
+  | Fdtab.F_sock s -> tally_sock ctx (Socket.read s ~intr ~nonblock buf off len)
 
 let desc_write ctx (d : Fdtab.desc) buf off len : int Errno.result =
   let intr = ctx.t.Task.intr in
@@ -71,17 +101,21 @@ let desc_write ctx (d : Fdtab.desc) buf off len : int Errno.result =
           i.Vfs.mtime <- Fiber.now ();
           Ok len
       | Vfs.Dir _ -> Error Errno.EISDIR
-      | Vfs.Fifo p -> sigpipe_wrap (Pipe.write p ~intr ~nonblock buf off len)
+      | Vfs.Fifo p ->
+          tally_pipe ctx (sigpipe_wrap (Pipe.write p ~intr ~nonblock buf off len))
       | Vfs.Chardev cd -> cd.Vfs.cd_write buf off len
       | Vfs.Symlink _ | Vfs.Gen _ -> Error Errno.EINVAL)
   | Fdtab.F_gen _ -> Error Errno.EACCES
   | Fdtab.F_pipe_r _ -> Error Errno.EBADF
-  | Fdtab.F_pipe_w p -> sigpipe_wrap (Pipe.write p ~intr ~nonblock buf off len)
+  | Fdtab.F_pipe_w p ->
+      tally_pipe ctx (sigpipe_wrap (Pipe.write p ~intr ~nonblock buf off len))
   | Fdtab.F_fifo (p, _, has_w) ->
-      if has_w then sigpipe_wrap (Pipe.write p ~intr ~nonblock buf off len)
+      if has_w then
+        tally_pipe ctx (sigpipe_wrap (Pipe.write p ~intr ~nonblock buf off len))
       else Error Errno.EBADF
   | Fdtab.F_chardev cd -> cd.Vfs.cd_write buf off len
-  | Fdtab.F_sock s -> sigpipe_wrap (Socket.write s ~intr ~nonblock buf off len)
+  | Fdtab.F_sock s ->
+      tally_sock ctx (sigpipe_wrap (Socket.write s ~intr ~nonblock buf off len))
 
 let with_fd ctx fd f =
   match Fdtab.get ctx.t.Task.fdtab fd with
@@ -187,6 +221,7 @@ let ( let* ) = Result.bind
 
 let openat ctx ~dirfd ~path ~flags ~mode : int Errno.result =
   count ctx;
+  vfs_op ctx "open";
   let* base = dir_base ctx dirfd path in
   let fs = ctx.k.Task.fs in
   let follow = true in
@@ -227,7 +262,8 @@ let openat ctx ~dirfd ~path ~flags ~mode : int Errno.result =
       | Vfs.Symlink _ -> Error Errno.ELOOP
     in
     let d = Fdtab.mk_desc ~flags ~path kind in
-    Fdtab.install ~cloexec:(flags land o_cloexec <> 0) ctx.t.Task.fdtab d
+    noting ctx
+      (Fdtab.install ~cloexec:(flags land o_cloexec <> 0) ctx.t.Task.fdtab d)
   end
 
 let close ctx ~fd : unit Errno.result =
@@ -236,6 +272,7 @@ let close ctx ~fd : unit Errno.result =
 
 let stat_path ctx ~dirfd ~path ~follow : stat Errno.result =
   count ctx;
+  vfs_op ctx "stat";
   let* base = dir_base ctx dirfd path in
   let* node = Vfs.resolve ctx.k.Task.fs ~cwd:base ~follow path in
   Ok (Vfs.stat_of node)
@@ -308,6 +345,7 @@ let faccessat ctx ~dirfd ~path ~amode : unit Errno.result =
 
 let mkdirat ctx ~dirfd ~path ~mode : unit Errno.result =
   count ctx;
+  vfs_op ctx "mkdir";
   let* base = dir_base ctx dirfd path in
   let* parent, name = Vfs.resolve_parent ctx.k.Task.fs ~cwd:base path in
   let* _ = Vfs.mkdir ctx.k.Task.fs parent name ~mode:(mode land lnot ctx.t.Task.umask) in
@@ -315,12 +353,14 @@ let mkdirat ctx ~dirfd ~path ~mode : unit Errno.result =
 
 let unlinkat ctx ~dirfd ~path ~rmdir_flag : unit Errno.result =
   count ctx;
+  vfs_op ctx (if rmdir_flag then "rmdir" else "unlink");
   let* base = dir_base ctx dirfd path in
   let* parent, name = Vfs.resolve_parent ctx.k.Task.fs ~cwd:base path in
   if rmdir_flag then Vfs.rmdir parent name else Vfs.unlink parent name
 
 let linkat ctx ~olddirfd ~oldpath ~newdirfd ~newpath : unit Errno.result =
   count ctx;
+  vfs_op ctx "link";
   let* obase = dir_base ctx olddirfd oldpath in
   let* target = Vfs.resolve ctx.k.Task.fs ~cwd:obase oldpath in
   let* nbase = dir_base ctx newdirfd newpath in
@@ -329,6 +369,7 @@ let linkat ctx ~olddirfd ~oldpath ~newdirfd ~newpath : unit Errno.result =
 
 let symlinkat ctx ~target ~dirfd ~path : unit Errno.result =
   count ctx;
+  vfs_op ctx "symlink";
   let* base = dir_base ctx dirfd path in
   let* parent, name = Vfs.resolve_parent ctx.k.Task.fs ~cwd:base path in
   let* _ = Vfs.symlink ctx.k.Task.fs parent name ~target in
@@ -336,6 +377,7 @@ let symlinkat ctx ~target ~dirfd ~path : unit Errno.result =
 
 let readlinkat ctx ~dirfd ~path : string Errno.result =
   count ctx;
+  vfs_op ctx "readlink";
   let* base = dir_base ctx dirfd path in
   let* node = Vfs.resolve ctx.k.Task.fs ~cwd:base ~follow:false path in
   match node.Vfs.kind with
@@ -344,6 +386,7 @@ let readlinkat ctx ~dirfd ~path : string Errno.result =
 
 let renameat ctx ~olddirfd ~oldpath ~newdirfd ~newpath : unit Errno.result =
   count ctx;
+  vfs_op ctx "rename";
   let* obase = dir_base ctx olddirfd oldpath in
   let* sdir, sname = Vfs.resolve_parent ctx.k.Task.fs ~cwd:obase oldpath in
   let* nbase = dir_base ctx newdirfd newpath in
@@ -424,7 +467,7 @@ let dup ctx ~fd : int Errno.result =
   count ctx;
   with_fd ctx fd (fun d ->
       Fdtab.incref d;
-      Fdtab.install ctx.t.Task.fdtab d)
+      noting ctx (Fdtab.install ctx.t.Task.fdtab d))
 
 let dup3 ctx ~fd ~newfd ~cloexec : int Errno.result =
   count ctx;
@@ -433,8 +476,9 @@ let dup3 ctx ~fd ~newfd ~cloexec : int Errno.result =
   else
     with_fd ctx fd (fun d ->
         Fdtab.incref d;
-        Fdtab.install_at ~cloexec ~sock_registry:ctx.k.Task.sockets
-          ctx.t.Task.fdtab newfd d)
+        noting ctx
+          (Fdtab.install_at ~cloexec ~sock_registry:ctx.k.Task.sockets
+             ctx.t.Task.fdtab newfd d))
 
 let fcntl ctx ~fd ~cmd ~arg : int Errno.result =
   count ctx;
@@ -444,8 +488,9 @@ let fcntl ctx ~fd ~cmd ~arg : int Errno.result =
       let d = e.Fdtab.e_desc in
       if cmd = f_dupfd || cmd = f_dupfd_cloexec then begin
         Fdtab.incref d;
-        Fdtab.install ~from:arg ~cloexec:(cmd = f_dupfd_cloexec)
-          ctx.t.Task.fdtab d
+        noting ctx
+          (Fdtab.install ~from:arg ~cloexec:(cmd = f_dupfd_cloexec)
+             ctx.t.Task.fdtab d)
       end
       else if cmd = f_getfd then Ok (if e.Fdtab.e_cloexec then fd_cloexec else 0)
       else if cmd = f_setfd then begin
@@ -485,8 +530,8 @@ let pipe2 ctx ~flags : (int * int) Errno.result =
   let cloexec = flags land o_cloexec <> 0 in
   let dr = Fdtab.mk_desc ~flags:(flags land o_nonblock) (Fdtab.F_pipe_r p) in
   let dw = Fdtab.mk_desc ~flags:(flags land o_nonblock) (Fdtab.F_pipe_w p) in
-  let* r = Fdtab.install ~cloexec ctx.t.Task.fdtab dr in
-  let* w = Fdtab.install ~cloexec ctx.t.Task.fdtab dw in
+  let* r = noting ctx (Fdtab.install ~cloexec ctx.t.Task.fdtab dr) in
+  let* w = noting ctx (Fdtab.install ~cloexec ctx.t.Task.fdtab dw) in
   Ok (r, w)
 
 (* ------------------------------------------------------------------ *)
@@ -566,7 +611,7 @@ let socket ctx ~family ~stype : int Errno.result =
   else begin
     let s = Socket.create ~family in
     let d = Fdtab.mk_desc (Fdtab.F_sock s) in
-    Fdtab.install ctx.t.Task.fdtab d
+    noting ctx (Fdtab.install ctx.t.Task.fdtab d)
   end
 
 let with_sock ctx fd f =
@@ -588,7 +633,7 @@ let accept ctx ~fd : int Errno.result =
   with_sock ctx fd (fun d s ->
       let* peer = Socket.accept s ~intr:ctx.t.Task.intr ~nonblock:(nonblock_of d) in
       let nd = Fdtab.mk_desc (Fdtab.F_sock peer) in
-      Fdtab.install ctx.t.Task.fdtab nd)
+      noting ctx (Fdtab.install ctx.t.Task.fdtab nd))
 
 let connect ctx ~fd ~addr : unit Errno.result =
   count ctx;
@@ -602,8 +647,12 @@ let shutdown ctx ~fd ~how : unit Errno.result =
 let socketpair ctx ~family : (int * int) Errno.result =
   count ctx;
   let a, b = Socket.pair ~family in
-  let* fa = Fdtab.install ctx.t.Task.fdtab (Fdtab.mk_desc (Fdtab.F_sock a)) in
-  let* fb = Fdtab.install ctx.t.Task.fdtab (Fdtab.mk_desc (Fdtab.F_sock b)) in
+  let* fa =
+    noting ctx (Fdtab.install ctx.t.Task.fdtab (Fdtab.mk_desc (Fdtab.F_sock a)))
+  in
+  let* fb =
+    noting ctx (Fdtab.install ctx.t.Task.fdtab (Fdtab.mk_desc (Fdtab.F_sock b)))
+  in
   Ok (fa, fb)
 
 let setsockopt ctx ~fd ~level ~opt ~value : unit Errno.result =
@@ -804,12 +853,17 @@ let sched_yield ctx : unit =
 
 let futex_wait ctx ~mem_id ~addr ~load ~expected ~timeout_ns : unit Errno.result =
   count ctx;
+  let s = kstats ctx in
+  s.Observe.Metrics.futex_waits <- s.Observe.Metrics.futex_waits + 1;
   Futex.wait ctx.futexes ~key:(mem_id, addr) ~load ~expected ?timeout_ns
     ~intr:ctx.t.Task.intr ()
 
 let futex_wake ctx ~mem_id ~addr ~n : int =
   count ctx;
-  Futex.wake ctx.futexes ~key:(mem_id, addr) ~n
+  let woken = Futex.wake ctx.futexes ~key:(mem_id, addr) ~n in
+  let s = kstats ctx in
+  s.Observe.Metrics.futex_wakes <- s.Observe.Metrics.futex_wakes + woken;
+  woken
 
 let wait4 ctx ~pid ~options : (Task.wait_result option, Errno.t) result =
   count ctx;

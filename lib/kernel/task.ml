@@ -52,6 +52,7 @@ type kernel = {
   mutable fg_pgid : int;
   mutable epoch_ns : int64; (* CLOCK_REALTIME base *)
   mutable syscall_count : int64; (* global, for stats *)
+  stats : Observe.Metrics.kstats; (* always-on kernel counters *)
 }
 
 let fresh_actions () = Array.make (nsig + 1) sigaction_default
@@ -129,6 +130,7 @@ let boot () : kernel =
       fg_pgid = 1;
       epoch_ns = 1_700_000_000_000_000_000L;
       syscall_count = 0L;
+      stats = Observe.Metrics.kstats_create ();
     }
   in
   let dev = Vfs.mkdir_p fs "/dev" in
@@ -282,12 +284,14 @@ let deliverable (t : t) signo =
   || ((not (Sigset.mem t.sigmask signo)) && not (is_ignored t signo))
 
 (** Post a signal to a specific thread. *)
-let post_to_thread (_k : kernel) (t : t) signo : unit =
+let post_to_thread (k : kernel) (t : t) signo : unit =
   if t.state <> Running then ()
   else if is_ignored t signo && not (Sigset.mem t.sigmask signo) then
     () (* discarded *)
   else begin
     t.pending <- Sigset.add t.pending signo;
+    k.stats.Observe.Metrics.sig_queued <-
+      k.stats.Observe.Metrics.sig_queued + 1;
     if deliverable t signo then
       match !(t.intr) with Some wake -> wake () | None -> ()
   end
@@ -302,12 +306,13 @@ let post_to_group (k : kernel) (g : tgroup) signo : unit =
       then ()
       else begin
         g.group_pending <- Sigset.add g.group_pending signo;
+        k.stats.Observe.Metrics.sig_queued <-
+          k.stats.Observe.Metrics.sig_queued + 1;
         (* Wake one thread that would deliver it. *)
         match List.find_opt (fun t -> deliverable t signo) threads with
         | Some t -> (match !(t.intr) with Some wake -> wake () | None -> ())
         | None -> ()
-      end;
-      ignore k
+      end
 
 (** kill(2) pid semantics: pid > 0 targets that process; 0 targets the
     caller's process group; -1 everything except init; -pgid a group. *)

@@ -1,0 +1,82 @@
+(** Log2-bucketed latency histograms.
+
+    Bucket 0 holds exactly the value 0 (and, defensively, negatives);
+    bucket [b >= 1] holds values in [[2^(b-1), 2^b - 1]]. The last bucket
+    is open-ended up to [Int64.max_int]. Percentile estimates return the
+    bucket's upper bound clamped to the largest value ever recorded, so a
+    single-sample histogram reports that sample exactly. *)
+
+let nbuckets = 64
+
+type t = {
+  counts : int array; (* length nbuckets *)
+  mutable total : int;
+  mutable sum : int64;
+  mutable vmax : int64;
+}
+
+let create () = { counts = Array.make nbuckets 0; total = 0; sum = 0L; vmax = 0L }
+
+let bucket_of (v : int64) : int =
+  if Int64.compare v 0L <= 0 then 0
+  else begin
+    let rec go i v =
+      if Int64.equal v 0L then i else go (i + 1) (Int64.shift_right_logical v 1)
+    in
+    min (nbuckets - 1) (go 0 v)
+  end
+
+(** Smallest value belonging to bucket [b]. *)
+let lower_bound b = if b <= 0 then 0L else Int64.shift_left 1L (b - 1)
+
+(** Largest value belonging to bucket [b]. *)
+let upper_bound b =
+  if b <= 0 then 0L
+  else if b >= nbuckets - 1 then Int64.max_int
+  else Int64.sub (Int64.shift_left 1L b) 1L
+
+let record t (v : int64) =
+  let v = if Int64.compare v 0L < 0 then 0L else v in
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.total <- t.total + 1;
+  t.sum <- Int64.add t.sum v;
+  if Int64.compare v t.vmax > 0 then t.vmax <- v
+
+let count t = t.total
+let sum t = t.sum
+let max_value t = t.vmax
+
+(** [percentile t q] with [q] in [0, 1]: the upper bound of the bucket
+    containing the sample of rank [ceil (q * total)], clamped to the
+    maximum recorded value. 0 if the histogram is empty. *)
+let percentile t (q : float) : int64 =
+  if t.total = 0 then 0L
+  else begin
+    let rank = Stdlib.max 1 (int_of_float (ceil (q *. float_of_int t.total))) in
+    let rank = Stdlib.min rank t.total in
+    let rec go b cum =
+      if b >= nbuckets then t.vmax
+      else begin
+        let cum = cum + t.counts.(b) in
+        if cum >= rank then
+          if Int64.compare (upper_bound b) t.vmax > 0 then t.vmax
+          else upper_bound b
+        else go (b + 1) cum
+      end
+    in
+    go 0 0
+  end
+
+(** Non-empty buckets as [(index, count)] pairs, index ascending. *)
+let nonzero t : (int * int) list =
+  let acc = ref [] in
+  for b = nbuckets - 1 downto 0 do
+    if t.counts.(b) > 0 then acc := (b, t.counts.(b)) :: !acc
+  done;
+  !acc
+
+let reset t =
+  Array.fill t.counts 0 nbuckets 0;
+  t.total <- 0;
+  t.sum <- 0L;
+  t.vmax <- 0L

@@ -1,0 +1,215 @@
+(** Minimal JSON: escaping for the emitters and a recursive-descent
+    parser for the well-formedness gates. No external dependencies; the
+    parser accepts exactly the JSON this library (and Chrome trace
+    viewers) produce. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ---- emission ---- *)
+
+(** Escape the contents of a JSON string (no surrounding quotes). *)
+let escape (s : string) : string =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let quote s = "\"" ^ escape s ^ "\""
+
+(* ---- parsing ---- *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let advance p = p.pos <- p.pos + 1
+
+let fail p msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" p.pos msg))
+
+let rec skip_ws p =
+  match peek p with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance p;
+      skip_ws p
+  | _ -> ()
+
+let expect p c =
+  match peek p with
+  | Some x when x = c -> advance p
+  | _ -> fail p (Printf.sprintf "expected %c" c)
+
+let parse_literal p lit v =
+  if
+    p.pos + String.length lit <= String.length p.src
+    && String.sub p.src p.pos (String.length lit) = lit
+  then begin
+    p.pos <- p.pos + String.length lit;
+    v
+  end
+  else fail p ("expected " ^ lit)
+
+let parse_string_body p =
+  expect p '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek p with
+    | None -> fail p "unterminated string"
+    | Some '"' -> advance p
+    | Some '\\' -> (
+        advance p;
+        match peek p with
+        | Some 'n' -> advance p; Buffer.add_char b '\n'; go ()
+        | Some 't' -> advance p; Buffer.add_char b '\t'; go ()
+        | Some 'r' -> advance p; Buffer.add_char b '\r'; go ()
+        | Some 'b' -> advance p; Buffer.add_char b '\b'; go ()
+        | Some 'f' -> advance p; Buffer.add_char b '\012'; go ()
+        | Some '"' -> advance p; Buffer.add_char b '"'; go ()
+        | Some '\\' -> advance p; Buffer.add_char b '\\'; go ()
+        | Some '/' -> advance p; Buffer.add_char b '/'; go ()
+        | Some 'u' ->
+            advance p;
+            if p.pos + 4 > String.length p.src then fail p "bad \\u escape";
+            let hex = String.sub p.src p.pos 4 in
+            p.pos <- p.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail p "bad \\u escape"
+            in
+            (* UTF-8 encode the code point (BMP only, enough here) *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            go ()
+        | _ -> fail p "bad escape")
+    | Some c ->
+        advance p;
+        Buffer.add_char b c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char c =
+    (c >= '0' && c <= '9')
+    || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+  in
+  let rec go () =
+    match peek p with
+    | Some c when is_num_char c ->
+        advance p;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  if p.pos = start then fail p "expected number";
+  match float_of_string_opt (String.sub p.src start (p.pos - start)) with
+  | Some f -> f
+  | None -> fail p "malformed number"
+
+let rec parse_value p : t =
+  skip_ws p;
+  match peek p with
+  | None -> fail p "unexpected end of input"
+  | Some '{' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some '}' then begin
+        advance p;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws p;
+          let k = parse_string_body p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              advance p;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              advance p;
+              List.rev ((k, v) :: acc)
+          | _ -> fail p "expected , or } in object"
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some ']' then begin
+        advance p;
+        Arr []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              advance p;
+              elems (v :: acc)
+          | Some ']' ->
+              advance p;
+              List.rev (v :: acc)
+          | _ -> fail p "expected , or ] in array"
+        in
+        Arr (elems [])
+      end
+  | Some '"' -> Str (parse_string_body p)
+  | Some 't' -> parse_literal p "true" (Bool true)
+  | Some 'f' -> parse_literal p "false" (Bool false)
+  | Some 'n' -> parse_literal p "null" Null
+  | Some _ -> Num (parse_number p)
+
+(** Parse a complete JSON document. @raise Parse_error on malformed input
+    or trailing garbage. *)
+let parse (s : string) : t =
+  let p = { src = s; pos = 0 } in
+  let v = parse_value p in
+  skip_ws p;
+  if p.pos <> String.length s then fail p "trailing garbage";
+  v
+
+let parse_result s : (t, string) result =
+  match parse s with v -> Ok v | exception Parse_error m -> Error m
+
+(* ---- accessors ---- *)
+
+let member name = function
+  | Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let to_num = function Num f -> Some f | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_arr = function Arr l -> Some l | _ -> None
+let to_obj = function Obj l -> Some l | _ -> None

@@ -1,0 +1,56 @@
+(** Folded-stack profile accumulator (flamegraph / inferno input format:
+    one [root;child;leaf weight] line per unique stack). Weights are
+    nanoseconds of the deterministic profile clock — Wasm instructions
+    retired (1 ns each) plus virtual time spent below the WALI boundary —
+    so two identical runs fold to byte-identical output. *)
+
+type t = {
+  tbl : (string, int64 ref) Hashtbl.t;
+  mutable total : int64;
+}
+
+let create () = { tbl = Hashtbl.create 64; total = 0L }
+
+let key_of (stack : string list) =
+  match stack with [] -> "(toplevel)" | _ -> String.concat ";" stack
+
+let add t (stack : string list) (weight : int64) =
+  if Int64.compare weight 0L > 0 then begin
+    let key = key_of stack in
+    (match Hashtbl.find_opt t.tbl key with
+    | Some r -> r := Int64.add !r weight
+    | None -> Hashtbl.replace t.tbl key (ref weight));
+    t.total <- Int64.add t.total weight
+  end
+
+let total t = t.total
+
+let stacks t = Hashtbl.length t.tbl
+
+(** Folded output, lines sorted lexicographically by stack (stable across
+    runs independent of hashtable iteration order). *)
+let dump t : string =
+  let lines =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let b = Buffer.create 1024 in
+  List.iter (fun (k, w) -> Printf.bprintf b "%s %Ld\n" k w) lines;
+  Buffer.contents b
+
+(** Sum of weights in a folded dump (for consistency checks). *)
+let parse_total (folded : string) : (int64, string) result =
+  let lines = String.split_on_char '\n' folded in
+  let rec go acc = function
+    | [] -> Ok acc
+    | "" :: rest -> go acc rest
+    | line :: rest -> (
+        match String.rindex_opt line ' ' with
+        | None -> Error (Printf.sprintf "malformed folded line: %s" line)
+        | Some i -> (
+            let w = String.sub line (i + 1) (String.length line - i - 1) in
+            match Int64.of_string_opt w with
+            | Some w -> go (Int64.add acc w) rest
+            | None -> Error (Printf.sprintf "malformed weight: %s" line)))
+  in
+  go 0L lines

@@ -1,0 +1,79 @@
+(** Chrome trace-event buffer: append-only, eagerly serialized span
+    (ph B/E), instant (ph i) and metadata (ph M) records, dumped as a
+    [{"traceEvents": [...]}] document loadable in Perfetto or
+    chrome://tracing. Timestamps are virtual nanoseconds converted to the
+    format's microseconds with sub-us precision preserved. *)
+
+type t = {
+  buf : Buffer.t;
+  mutable n : int;
+  named_procs : (int, unit) Hashtbl.t;
+  named_threads : (int * int, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    buf = Buffer.create 4096;
+    n = 0;
+    named_procs = Hashtbl.create 8;
+    named_threads = Hashtbl.create 8;
+  }
+
+let events t = t.n
+
+(* ts: virtual ns -> trace-format us, exact to the nanosecond *)
+let pp_ts (ns : int64) : string =
+  Printf.sprintf "%Ld.%03d"
+    (Int64.div ns 1_000L)
+    (Int64.to_int (Int64.rem ns 1_000L))
+
+(* [args] values must already be valid JSON fragments. *)
+let event t ~(ph : char) ~(name : string) ~(cat : string) ~(pid : int)
+    ~(tid : int) ~(ts : int64) ?(args : (string * string) list = []) () =
+  if t.n > 0 then Buffer.add_string t.buf ",\n";
+  t.n <- t.n + 1;
+  Printf.bprintf t.buf
+    {|{"name":%s,"cat":"%s","ph":"%c","ts":%s,"pid":%d,"tid":%d|}
+    (Json.quote name) cat ph (pp_ts ts) pid tid;
+  (match args with
+  | [] -> ()
+  | kvs ->
+      Buffer.add_string t.buf ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char t.buf ',';
+          Printf.bprintf t.buf "%s:%s" (Json.quote k) v)
+        kvs;
+      Buffer.add_char t.buf '}');
+  (* instant events need a scope *)
+  if ph = 'i' then Buffer.add_string t.buf {|,"s":"t"|};
+  Buffer.add_char t.buf '}'
+
+let span_begin t ~name ~cat ~pid ~tid ~ts =
+  event t ~ph:'B' ~name ~cat ~pid ~tid ~ts ()
+
+let span_end t ~name ~cat ~pid ~tid ~ts ?args () =
+  event t ~ph:'E' ~name ~cat ~pid ~tid ~ts ?args ()
+
+let instant t ~name ~cat ~pid ~tid ~ts ?args () =
+  event t ~ph:'i' ~name ~cat ~pid ~tid ~ts ?args ()
+
+(** Name a process lane (once per pid) / a thread lane (once per tid). *)
+let name_process t ~pid ~name =
+  if not (Hashtbl.mem t.named_procs pid) then begin
+    Hashtbl.replace t.named_procs pid ();
+    event t ~ph:'M' ~name:"process_name" ~cat:"__metadata" ~pid ~tid:0 ~ts:0L
+      ~args:[ ("name", Json.quote name) ]
+      ()
+  end
+
+let name_thread t ~pid ~tid ~name =
+  if not (Hashtbl.mem t.named_threads (pid, tid)) then begin
+    Hashtbl.replace t.named_threads (pid, tid) ();
+    event t ~ph:'M' ~name:"thread_name" ~cat:"__metadata" ~pid ~tid ~ts:0L
+      ~args:[ ("name", Json.quote name) ]
+      ()
+  end
+
+let dump t : string =
+  "{\"traceEvents\":[\n" ^ Buffer.contents t.buf ^ "\n]}\n"

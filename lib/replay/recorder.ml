@@ -159,31 +159,38 @@ type run = {
     engine's exit notification shared between status capture and exit
     logging (the engine has a single [on_proc_exit] slot). *)
 let record ?(app = "") ?(poll_scheme = Code.Poll_loops) ?strace ?policy
-    ?(kernel : Kernel.Task.kernel option) ~(binary : string)
+    ?(kernel : Kernel.Task.kernel option) ?observe ~(binary : string)
     ~(argv : string list) ~(env : string list) () : run =
   let kernel = match kernel with Some k -> k | None -> Kernel.Task.boot () in
   let strace = match strace with Some t -> t | None -> Strace.create () in
   let policy = match policy with Some p -> p | None -> Seccomp.allow_all () in
-  let eng = Engine.create ~poll_scheme ~trace:strace ~policy kernel in
+  (* The sink rides in the engine's dedicated observe slot, so recording
+     (which owns the single interposer slot) and observability compose. *)
+  let eng = Engine.create ~poll_scheme ~trace:strace ~policy ?observe kernel in
   let rc = make () in
   eng.Engine.interpose <- Some (interposer rc);
   let status = ref 0 in
   let result = ref None in
-  Fiber.run (fun () ->
-      let p = Interface.spawn_init eng ~binary ~argv ~env in
-      eng.Engine.on_proc_exit <-
-        Some
-          (fun q st ->
-            emit rc
-              (Trace.E_exit
-                 {
-                   Trace.ex_pid = q.Engine.pr_task.Kernel.Task.tid;
-                   ex_status = st;
-                 });
-            if q == p then begin
-              status := st;
-              result := q.Engine.pr_result
-            end));
+  (match observe with Some o -> Observe.Sink.attach o | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      match observe with Some o -> Observe.Sink.detach o | None -> ())
+    (fun () ->
+      Fiber.run (fun () ->
+          let p = Interface.spawn_init eng ~binary ~argv ~env in
+          eng.Engine.on_proc_exit <-
+            Some
+              (fun q st ->
+                emit rc
+                  (Trace.E_exit
+                     {
+                       Trace.ex_pid = q.Engine.pr_task.Kernel.Task.tid;
+                       ex_status = st;
+                     });
+                if q == p then begin
+                  status := st;
+                  result := q.Engine.pr_result
+                end)));
   let trace =
     {
       Trace.tr_header =

@@ -361,8 +361,8 @@ let interposer (st : state) : Engine.interposer =
     out of the VFS). The digest check refuses a binary other than the
     recorded one unless [check_digest:false]. *)
 let replay ?(setup = fun (_ : Kernel.Task.kernel) -> ())
-    ?(check_digest = true) ~(trace : Trace.t) ~(binary : string) () : outcome
-    =
+    ?(check_digest = true) ?observe ~(trace : Trace.t) ~(binary : string) () :
+    outcome =
   let total = Array.length trace.Trace.tr_events in
   let digest = Digest.string binary in
   if check_digest && digest <> trace.Trace.tr_header.Trace.h_digest then
@@ -385,27 +385,39 @@ let replay ?(setup = fun (_ : Kernel.Task.kernel) -> ())
     let st = make trace in
     let kernel = Kernel.Task.boot () in
     setup kernel;
-    let strace = Strace.create () in
+    (* When a sink is observing the replay, aggregate syscalls straight
+       into its registry: the regenerated metrics/trace/profile then come
+       from the recorded outcomes, not a live kernel. *)
+    let strace =
+      match observe with
+      | Some o -> Strace.of_metrics (Observe.Sink.metrics o)
+      | None -> Strace.create ()
+    in
     let poll_scheme =
       match Trace.poll_scheme_of_name trace.Trace.tr_header.Trace.h_poll with
       | Some s -> s
       | None -> Code.Poll_loops
     in
-    let eng = Engine.create ~poll_scheme ~trace:strace kernel in
+    let eng = Engine.create ~poll_scheme ~trace:strace ?observe kernel in
     eng.Engine.interpose <- Some (interposer st);
     let status = ref 0 in
+    (match observe with Some o -> Observe.Sink.attach o | None -> ());
     (try
-       Fiber.run (fun () ->
-           let p =
-             Interface.spawn_init eng ~binary
-               ~argv:trace.Trace.tr_header.Trace.h_argv
-               ~env:trace.Trace.tr_header.Trace.h_env
-           in
-           eng.Engine.on_proc_exit <-
-             Some
-               (fun q st_exit ->
-                 on_exit st q st_exit;
-                 if q == p then status := st_exit))
+       Fun.protect
+         ~finally:(fun () ->
+           match observe with Some o -> Observe.Sink.detach o | None -> ())
+         (fun () ->
+           Fiber.run (fun () ->
+               let p =
+                 Interface.spawn_init eng ~binary
+                   ~argv:trace.Trace.tr_header.Trace.h_argv
+                   ~env:trace.Trace.tr_header.Trace.h_env
+               in
+               eng.Engine.on_proc_exit <-
+                 Some
+                   (fun q st_exit ->
+                     on_exit st q st_exit;
+                     if q == p then status := st_exit)))
      with
     | Diverged _ -> () (* first divergence already captured in st *)
     | Fiber.Deadlock names ->

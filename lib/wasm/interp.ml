@@ -27,6 +27,7 @@ let jump (m : machine) (j : Code.jump) =
 
 (* Pop the current frame, preserving [n] results from the stack top. *)
 let pop_frame (m : machine) =
+  (match m.prof_hook with Some h -> h m | None -> ());
   match m.frames with
   | [] -> trap "return with no frame"
   | fr :: rest ->

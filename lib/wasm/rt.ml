@@ -174,6 +174,9 @@ and machine = {
   mutable m_inst : instance; (* root instance (the process image) *)
   mutable steps : int64; (* executed ops, for deterministic metrics *)
   mutable poll_hook : (machine -> unit) option;
+  mutable prof_hook : (machine -> unit) option;
+      (* profiler sample hook, fired on frame push/pop before the frame
+         stack mutates (so the sampled stack is the one that ran) *)
   mutable m_pid : int; (* owning simulated process; engine bookkeeping *)
 }
 
@@ -197,6 +200,7 @@ module Machine = struct
       m_inst = inst;
       steps = 0L;
       poll_hook = None;
+      prof_hook = None;
       m_pid = 0;
     }
 
@@ -221,6 +225,7 @@ module Machine = struct
   (** Push a call frame for [code] whose arguments are the top
       [n_params] values of the stack. *)
   let push_frame m inst (code : Code.fcode) =
+    (match m.prof_hook with Some h -> h m | None -> ());
     let nparams = List.length code.Code.fc_type.params in
     let nlocals = Array.length code.Code.fc_locals in
     let locals = Array.make (max nlocals 1) (I32 0l) in
@@ -319,6 +324,7 @@ module Machine = struct
       m_inst = root;
       steps = m.steps;
       poll_hook = m.poll_hook;
+      prof_hook = m.prof_hook;
       m_pid = m.m_pid;
     }
 end

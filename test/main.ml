@@ -13,4 +13,5 @@ let () =
       ("mmap", Test_mmap.tests);
       ("analysis", Test_analysis.tests);
       ("replay", Test_replay.tests);
+      ("observe", Test_observe.tests);
     ]
