@@ -10,14 +10,55 @@
      fig8   virtualization comparison: memory + execution time sweeps
 
    `bench/main.exe all` runs everything (the default). Wall-clock numbers
-   use the host monotonic clock; shapes, not absolute values, are the
-   reproduction target (see EXPERIMENTS.md). *)
+   use the host monotonic clock as min-of-N with a MAD noise band
+   (lib/perf); shapes, not absolute values, are the reproduction target
+   (see EXPERIMENTS.md). `--json=FILE` additionally writes every
+   scenario's numbers as a `wali-bench v1` document. *)
 
 let now = Monotonic_clock.now
 
 let ms_of_ns ns = Int64.to_float ns /. 1e6
 
 let header title = Printf.printf "\n=== %s ===\n%!" title
+
+(* ---- structured results (wali-bench v1) ---- *)
+
+(* Every fig/table scenario also records its numbers here; deterministic
+   quantities as counters, host timings as wall metrics carrying their
+   sample count and noise band. *)
+let scenarios : (string * (string * Perf.Model.metric) list) list ref = ref []
+
+let emit name metrics = scenarios := (name, metrics) :: !scenarios
+
+let c_int v = Perf.Model.counter (float_of_int v)
+
+let write_json file =
+  let model = Perf.Model.make ~suite:"wali-bench" !scenarios in
+  Perf.Model.save file model;
+  Printf.printf "\nwrote %d scenarios to %s\n"
+    (List.length model.Perf.Model.b_scenarios)
+    file
+
+(* ---- wall-clock sampling ---- *)
+
+(* Min-of-N with a MAD noise band instead of a single noisy shot: the
+   minimum of [n] timed batches estimates the uncontended cost, the MAD
+   is the band (Perf.Stats). One warmup batch replaces the old 10%
+   pre-roll. *)
+let time_per_call ?(iters = 20000) ?(n = 5) (f : unit -> unit) : Perf.Stats.t =
+  Perf.Stats.measure ~n (fun () ->
+      let t0 = now () in
+      for _ = 1 to iters do
+        f ()
+      done;
+      Int64.to_float (Int64.sub (now ()) t0) /. float_of_int iters)
+
+(* Whole-run timing in ms, same estimator. *)
+let time_ms ?(warmup = 1) ?(n = 3) (f : unit -> unit) : Perf.Stats.t =
+  Perf.Stats.measure ~warmup ~n (fun () ->
+      let t0 = now () in
+      f ();
+      ms_of_ns (Int64.sub (now ()) t0))
 
 (* ------------------------------------------------------------------ *)
 (* Fig 2: syscall profile                                               *)
@@ -77,7 +118,16 @@ let fig2 () =
     traces;
   Printf.printf
     "union of suite: %d unique syscalls (paper: many apps <100; union ~140-150)\n"
-    (Hashtbl.length union)
+    (Hashtbl.length union);
+  emit "fig2"
+    (("union_unique", c_int (Hashtbl.length union))
+    :: List.concat_map
+         (fun (app, t) ->
+           [
+             (app ^ ".unique", c_int (Wali.Strace.unique_syscalls t));
+             (app ^ ".calls", c_int (Wali.Strace.total_calls t));
+           ])
+         traces)
 
 (* ------------------------------------------------------------------ *)
 (* Fig 3: ISA similarity                                                *)
@@ -102,7 +152,10 @@ let fig3 () =
   Printf.printf
     "\naarch64/riscv64 near-identical and largely a subset of x86-64 (paper §2)\n";
   Printf.printf "WALI name-bound union: %d virtual syscalls\n"
-    (List.length (union_names ()))
+    (List.length (union_names ()));
+  emit "fig3"
+    (("wali_union", c_int (List.length (union_names ())))
+    :: List.map (fun isa -> (isa_name isa, c_int (count isa))) isas)
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: porting effort                                              *)
@@ -112,6 +165,7 @@ let table1 () =
   header "Table 1: porting effort of Wasm APIs";
   Printf.printf "%-12s %-12s %6s %6s %6s   %s\n" "app" "(paper)" "WALI"
     "WASIX" "WASI" "missing feature (WASI)";
+  let rows = Apps.Suite.porting_table () in
   List.iter
     (fun (r : Apps.Suite.porting_row) ->
       let a = r.Apps.Suite.pr_app in
@@ -122,26 +176,25 @@ let table1 () =
         (mark r.Apps.Suite.pr_wasix)
         (mark r.Apps.Suite.pr_wasi)
         (Option.value r.Apps.Suite.pr_wasi ~default:"-"))
-    (Apps.Suite.porting_table ())
+    rows;
+  let ports f = List.length (List.filter (fun r -> f r = None) rows) in
+  emit "table1"
+    [
+      ("apps", c_int (List.length rows));
+      ("wali_ports", c_int (ports (fun r -> r.Apps.Suite.pr_wali)));
+      ("wasix_ports", c_int (ports (fun r -> r.Apps.Suite.pr_wasix)));
+      ("wasi_ports", c_int (ports (fun r -> r.Apps.Suite.pr_wasi)));
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: intrinsic syscall overhead                                  *)
 (* ------------------------------------------------------------------ *)
 
-let time_ns_per_call ?(iters = 20000) (f : unit -> unit) : float =
-  for _ = 1 to iters / 10 do
-    f ()
-  done;
-  let t0 = now () in
-  for _ = 1 to iters do
-    f ()
-  done;
-  let t1 = now () in
-  Int64.to_float (Int64.sub t1 t0) /. float_of_int iters
-
 let table2 () =
   header "Table 2: WALI syscall overhead vs direct kernel calls";
-  Printf.printf "%-16s %12s %6s %6s\n" "syscall" "overhead" "LOC" "state";
+  Printf.printf "%-16s %12s %8s %6s %6s\n" "syscall" "overhead" "noise" "LOC"
+    "state";
+  let t2_metrics = ref [] in
   Fiber.run (fun () ->
       let kernel = Kernel.Task.boot () in
       let eng = Wali.Engine.create kernel in
@@ -170,9 +223,14 @@ let table2 () =
       let meta n =
         Option.value (Wali.Spec.find n) ~default:(List.hd Wali.Spec.implemented)
       in
-      let report name w d =
+      let report name (w : Perf.Stats.t) (d : Perf.Stats.t) =
         let m = meta name in
-        Printf.printf "%-16s %9.0f ns %6d %6s\n" name (max 0.0 (w -. d))
+        let overhead = max 0.0 (w.Perf.Stats.s_min -. d.Perf.Stats.s_min) in
+        let band = w.Perf.Stats.s_mad +. d.Perf.Stats.s_mad in
+        t2_metrics :=
+          (name, Perf.Model.wall_v ~n:w.Perf.Stats.s_n ~mad:band overhead)
+          :: !t2_metrics;
+        Printf.printf "%-16s %9.0f ns %7.0f %6d %6s\n" name overhead band
           m.Wali.Spec.loc
           (if m.Wali.Spec.stateful then "Y" else "N")
       in
@@ -232,21 +290,23 @@ let table2 () =
         ]
       in
       List.iter
-        (fun (name, w, d) ->
-          report name (time_ns_per_call w) (time_ns_per_call d))
+        (fun (name, w, d) -> report name (time_per_call w) (time_per_call d))
         cases;
       (* mmap/munmap pair: stateful path through the region allocator *)
       let iters = 2000 in
-      let t0 = now () in
-      for _ = 1 to iters do
-        wali "mmap" [| i64 0; i64 8192; i64 3; i64 0x22; i64 (-1); i64 0 |];
-        wali "munmap" [| i64 (1 lsl 20); i64 8192 |]
-      done;
-      let t1 = now () in
-      let per = Int64.to_float (Int64.sub t1 t0) /. float_of_int iters /. 2.0 in
+      let st =
+        Perf.Stats.measure ~n:3 (fun () ->
+            let t0 = now () in
+            for _ = 1 to iters do
+              wali "mmap" [| i64 0; i64 8192; i64 3; i64 0x22; i64 (-1); i64 0 |];
+              wali "munmap" [| i64 (1 lsl 20); i64 8192 |]
+            done;
+            Int64.to_float (Int64.sub (now ()) t0) /. float_of_int iters /. 2.0)
+      in
+      t2_metrics := ("mmap", Perf.Model.wall st) :: !t2_metrics;
       let m = meta "mmap" in
-      Printf.printf "%-16s %9.0f ns %6d %6s   (mmap+munmap pair / 2)\n" "mmap"
-        per m.Wali.Spec.loc
+      Printf.printf "%-16s %9.0f ns %7.0f %6d %6s   (mmap+munmap pair / 2)\n"
+        "mmap" st.Perf.Stats.s_min st.Perf.Stats.s_mad m.Wali.Spec.loc
         (if m.Wali.Spec.stateful then "Y" else "N"));
   (* clone / thread spawn: the engine-dominated outlier (paper: ~500us
      in WAMR due to execution-environment replication). Measured as the
@@ -265,15 +325,26 @@ let table2 () =
   in
   let run_ns n =
     let binary = Minic.to_wasm_binary (spawn_src n) in
-    let t0 = now () in
-    let _ = Wali.Interface.run_program ~binary ~argv:[ "clone" ] ~env:[] () in
-    Int64.to_float (Int64.sub (now ()) t0)
+    Perf.Stats.measure ~n:3 (fun () ->
+        let t0 = now () in
+        let _ =
+          Wali.Interface.run_program ~binary ~argv:[ "clone" ] ~env:[] ()
+        in
+        Int64.to_float (Int64.sub (now ()) t0))
   in
   let base = run_ns 0 and loaded = run_ns 200 in
-  Printf.printf "%-16s %9.0f ns %6s %6s   (instance replication; the paper's outlier)\n"
-    "clone(thread)"
-    (max 0.0 ((loaded -. base) /. 200.0))
-    "100+" "Y"
+  let per =
+    max 0.0 ((loaded.Perf.Stats.s_min -. base.Perf.Stats.s_min) /. 200.0)
+  in
+  let band = (loaded.Perf.Stats.s_mad +. base.Perf.Stats.s_mad) /. 200.0 in
+  t2_metrics :=
+    ( "clone_thread",
+      Perf.Model.wall_v ~n:loaded.Perf.Stats.s_n ~mad:band per )
+    :: !t2_metrics;
+  Printf.printf
+    "%-16s %9.0f ns %7.0f %6s %6s   (instance replication; the paper's outlier)\n"
+    "clone(thread)" per band "100+" "Y";
+  emit "table2" !t2_metrics
 
 (* ------------------------------------------------------------------ *)
 (* Table 3: safepoint polling schemes                                   *)
@@ -293,28 +364,42 @@ let table3 () =
     ]
   in
   Printf.printf "%-16s %10s %10s %10s\n" "app" "Loop" "Func" "All";
+  let t3_metrics = ref [] in
   List.iter
     (fun (label, app_name, argv) ->
       match Apps.Suite.find app_name with
       | None -> ()
       | Some a ->
-          let run_with scheme =
-            let t0 = now () in
-            let _ = Apps.Suite.run ~argv ~poll_scheme:scheme a in
-            ms_of_ns (Int64.sub (now ()) t0)
+          (* min-of-N per scheme: polling overhead is a difference of two
+             small numbers, so the noisy single-shot (or even a median)
+             flips signs run to run; minima subtract stably *)
+          let sample scheme =
+            time_ms (fun () ->
+                ignore (Apps.Suite.run ~argv ~poll_scheme:scheme a))
           in
-          let med f =
-            let xs = List.sort compare [ f (); f (); f () ] in
-            List.nth xs 1
+          let base = sample Wasm.Code.Poll_none in
+          let bmin = base.Perf.Stats.s_min in
+          let pct (s : Perf.Stats.t) =
+            (s.Perf.Stats.s_min -. bmin) /. bmin *. 100.0
           in
-          let base = med (fun () -> run_with Wasm.Code.Poll_none) in
-          let pct v = (v -. base) /. base *. 100.0 in
-          let l = med (fun () -> run_with Wasm.Code.Poll_loops) in
-          let fn = med (fun () -> run_with Wasm.Code.Poll_funcs) in
-          let al = med (fun () -> run_with Wasm.Code.Poll_every) in
+          let band (s : Perf.Stats.t) =
+            (s.Perf.Stats.s_mad +. base.Perf.Stats.s_mad) /. bmin *. 100.0
+          in
+          let l = sample Wasm.Code.Poll_loops in
+          let fn = sample Wasm.Code.Poll_funcs in
+          let al = sample Wasm.Code.Poll_every in
+          List.iter
+            (fun (scheme, s) ->
+              t3_metrics :=
+                ( Printf.sprintf "%s.%s_pct" app_name scheme,
+                  Perf.Model.wall_v ~unit_:"pct" ~n:s.Perf.Stats.s_n
+                    ~mad:(band s) (pct s) )
+                :: !t3_metrics)
+            [ ("loop", l); ("func", fn); ("all", al) ];
           Printf.printf "%-16s %9.1f%% %9.1f%% %9.1f%%\n" label (pct l)
             (pct fn) (pct al))
     workloads;
+  emit "table3" !t3_metrics;
   print_endline
     "(expected shape: Loop/Func low; All an order of magnitude worse — paper Table 3)"
 
@@ -335,32 +420,54 @@ let fig7 () =
       let _, machine = Virt.Native_run.make_proc eng task mem ~heap_base:(1 lsl 20) in
       let ctx = Kernel.Syscalls.make_ctx kernel task eng.Wali.Engine.futexes in
       let w =
-        time_ns_per_call (fun () ->
+        time_per_call (fun () ->
             ignore (Wali.Interface.dispatch eng "getpid" machine [||]))
       in
-      let d = time_ns_per_call (fun () -> ignore (Kernel.Syscalls.getpid ctx)) in
-      layer_ns := max 50.0 (w -. d));
+      let d = time_per_call (fun () -> ignore (Kernel.Syscalls.getpid ctx)) in
+      layer_ns := max 50.0 (w.Perf.Stats.s_min -. d.Perf.Stats.s_min));
   Printf.printf "(WALI layer cost calibrated at %.0f ns/call)\n" !layer_ns;
   Printf.printf "%-12s %8s %8s %8s  %s\n" "app" "app%" "wali%" "kernel%" "(syscalls)";
+  let f7_metrics = ref [ ("layer_ns", Perf.Model.wall_v ~n:1 ~mad:0.0 !layer_ns) ] in
   List.iter
     (fun name ->
       match Apps.Suite.find name with
       | None -> ()
       | Some a ->
-          let trace = Wali.Strace.create () in
-          let t0 = now () in
-          let _ = Apps.Suite.run ~trace a in
-          let total = Int64.to_float (Int64.sub (now ()) t0) in
-          let calls = float_of_int (Wali.Strace.total_calls trace) in
+          (* syscall count is deterministic: one traced run fixes it, then
+             timing runs use a fresh trace each so nothing accumulates *)
+          let calls =
+            let trace = Wali.Strace.create () in
+            let _ = Apps.Suite.run ~trace a in
+            float_of_int (Wali.Strace.total_calls trace)
+          in
+          let s =
+            time_ms (fun () ->
+                let trace = Wali.Strace.create () in
+                ignore (Apps.Suite.run ~trace a))
+          in
+          let total = s.Perf.Stats.s_min *. 1e6 in
           let wali_t = calls *. !layer_ns in
           let kernel_t = min (calls *. 2000.0) (total -. wali_t) in
           let app_t = max 0.0 (total -. wali_t -. kernel_t) in
+          let wali_pct = wali_t /. total *. 100. in
+          let rel_band =
+            if s.Perf.Stats.s_min > 0.0 then
+              s.Perf.Stats.s_mad /. s.Perf.Stats.s_min
+            else 0.0
+          in
+          f7_metrics :=
+            (name ^ ".calls", Perf.Model.counter calls)
+            :: ( name ^ ".wali_pct",
+                 Perf.Model.wall_v ~unit_:"pct" ~n:s.Perf.Stats.s_n
+                   ~mad:(wali_pct *. rel_band) wali_pct )
+            :: !f7_metrics;
           Printf.printf "%-12s %7.1f%% %7.1f%% %7.1f%%  (%.0f)\n" name
             (app_t /. total *. 100.)
-            (wali_t /. total *. 100.)
+            wali_pct
             (max 0.0 kernel_t /. total *. 100.)
             calls)
     [ "zpack"; "calc"; "minidb"; "minish"; "kvd" ];
+  emit "fig7" !f7_metrics;
   print_endline
     "(paper: typically <1% of execution in the WALI interface; memcached ~2.4%)"
 
@@ -397,21 +504,32 @@ let fig8_workload name n : Virt.workload =
 let fig8a () =
   header "Fig 8a: peak memory by virtualization method (MB)";
   Printf.printf "%-8s %10s %10s %10s %10s\n" "app" "native" "docker" "qemu" "wali";
+  let f8a_metrics = ref [] in
   List.iter
     (fun (name, n) ->
       let p = Virt.prepare (fig8_workload name n) in
       let mb m = float_of_int m.Virt.m_peak_mem /. 1e6 in
       let r = List.map (fun m -> Virt.run p m) Virt.all_methods in
+      List.iter2
+        (fun meth res ->
+          f8a_metrics :=
+            ( Printf.sprintf "%s.%s_peak_mem" name (Virt.method_name meth),
+              Perf.Model.counter ~unit_:"bytes"
+                (float_of_int res.Virt.m_peak_mem) )
+            :: !f8a_metrics)
+        Virt.all_methods r;
       match r with
       | [ nat; doc; qemu; wali ] ->
           Printf.printf "%-8s %9.1fM %9.1fM %9.1fM %9.1fM\n" name (mb nat)
             (mb doc) (mb qemu) (mb wali)
       | _ -> ())
     [ ("lua", 2000); ("bash", 20000); ("sqlite", 150) ];
+  emit "fig8a" !f8a_metrics;
   print_endline "(expected shape: docker pays a large base; wali stays lean)"
 
 let fig8bcd () =
   header "Fig 8b-d: execution time incl. startup (ms) over workload sizes";
+  let f8_metrics = ref [] in
   List.iter
     (fun (name, sizes) ->
       Printf.printf "\n[%s]\n%-10s %12s %12s %12s %12s\n" name "size" "native"
@@ -420,9 +538,18 @@ let fig8bcd () =
       List.iter
         (fun n ->
           let p = Virt.prepare (fig8_workload name n) in
+          (* min-of-2 per cell: the sweep is long, so keep the sample
+             count low, but a single shot still flips the crossover *)
           let t m =
-            let r = Virt.run p m in
-            ms_of_ns r.Virt.m_total_ns
+            let s =
+              Perf.Stats.measure ~warmup:0 ~n:2 (fun () ->
+                  ms_of_ns (Virt.run p m).Virt.m_total_ns)
+            in
+            f8_metrics :=
+              ( Printf.sprintf "%s.%d.%s_ms" name n (Virt.method_name m),
+                Perf.Model.wall ~unit_:"ms" s )
+              :: !f8_metrics;
+            s.Perf.Stats.s_min
           in
           let nat = t Virt.M_native and doc = t Virt.M_docker in
           let qemu = t Virt.M_qemu and wali = t Virt.M_wali in
@@ -438,6 +565,7 @@ let fig8bcd () =
       ("bash", [ 2000; 20000; 100000; 400000 ]);
       ("sqlite", [ 20; 80; 200; 400 ]);
     ];
+  emit "fig8" !f8_metrics;
   print_endline
     "\n(expected shape: docker = native slope + large startup intercept;\n\
     \ qemu = steepest slope, tiny intercept; wali = small intercept,\n\
@@ -462,25 +590,28 @@ let analysis_bench () =
       Apps.Suite.all
   in
   List.iter (fun (_, m, _) -> ignore (Analysis.Reach.analyze m)) modules;
-  let iters = 40 in
   Printf.printf "%-10s %6s %8s %10s %8s\n" "app" "funcs" "allowed"
     "ms/analyze" "warnings";
+  let an_metrics = ref [] in
   let total_ns = ref 0.0 and total_funcs = ref 0 in
   List.iter
     (fun (name, m, nf) ->
-      let t0 = now () in
-      for _ = 1 to iters do
-        ignore (Analysis.Reach.analyze m)
-      done;
-      let ns = Int64.to_float (Int64.sub (now ()) t0) /. float_of_int iters in
+      let st = time_per_call ~iters:20 ~n:3 (fun () -> ignore (Analysis.Reach.analyze m)) in
+      let ns = st.Perf.Stats.s_min in
       total_ns := !total_ns +. ns;
       total_funcs := !total_funcs + nf;
       let s = Analysis.Reach.analyze m in
+      an_metrics :=
+        (name ^ ".funcs", c_int nf)
+        :: (name ^ ".allowed", c_int (List.length (Analysis.Reach.allowlist s)))
+        :: (name ^ ".analyze_ns", Perf.Model.wall st)
+        :: !an_metrics;
       Printf.printf "%-10s %6d %8d %9.3fms %8d\n" name nf
         (List.length (Analysis.Reach.allowlist s))
         (ns /. 1e6)
         (List.length (Analysis.Lint.lint s)))
     modules;
+  emit "analysis" !an_metrics;
   let secs = !total_ns /. 1e9 in
   Printf.printf
     "suite: %d modules, %d functions in %.1fms -> %.0f modules/sec, %.0f functions/sec\n"
@@ -503,58 +634,46 @@ let replay_bench () =
     end;
     kernel
   in
-  let med f =
-    let xs = List.sort compare [ f (); f (); f () ] in
-    List.nth xs 1
-  in
-  let timed f =
-    let t0 = now () in
-    let r = f () in
-    (r, ms_of_ns (Int64.sub (now ()) t0))
-  in
   Printf.printf "%-10s %8s %9s %9s %9s %8s %9s %9s\n" "app" "calls" "live"
     "record" "replay" "overhead" "speedup" "bytes";
+  let rp_metrics = ref [] in
   let tl = ref 0.0 and tc = ref 0.0 and tp = ref 0.0 in
   List.iter
     (fun (a : Apps.Suite.app) ->
       let binary = Apps.Suite.binary_of a in
-      let live_ms =
-        med (fun () ->
-            snd
-              (timed (fun () ->
-                   let kernel = boot_for a in
-                   Wali.Interface.run_program ~kernel ~binary
-                     ~argv:a.Apps.Suite.a_argv ~env:[] ())))
-      in
-      let run, record_ms =
-        timed (fun () ->
+      let live =
+        time_ms (fun () ->
             let kernel = boot_for a in
-            Replay.Recorder.record ~app:a.Apps.Suite.a_name ~kernel ~binary
-              ~argv:a.Apps.Suite.a_argv ~env:[] ())
+            ignore
+              (Wali.Interface.run_program ~kernel ~binary
+                 ~argv:a.Apps.Suite.a_argv ~env:[] ()))
       in
-      let record_ms =
-        min record_ms
-          (med (fun ()  ->
-               snd
-                 (timed (fun () ->
-                      let kernel = boot_for a in
-                      Replay.Recorder.record ~app:a.Apps.Suite.a_name ~kernel
-                        ~binary ~argv:a.Apps.Suite.a_argv ~env:[] ()))))
+      (* one recording pins the trace (deterministic); the timing samples
+         then record afresh each pass *)
+      let run =
+        let kernel = boot_for a in
+        Replay.Recorder.record ~app:a.Apps.Suite.a_name ~kernel ~binary
+          ~argv:a.Apps.Suite.a_argv ~env:[] ()
+      in
+      let record =
+        time_ms (fun () ->
+            let kernel = boot_for a in
+            ignore
+              (Replay.Recorder.record ~app:a.Apps.Suite.a_name ~kernel ~binary
+                 ~argv:a.Apps.Suite.a_argv ~env:[] ()))
       in
       let trace =
         Replay.Trace.decode
           (Replay.Trace.encode (Replay.Reduce.reduce run.Replay.Recorder.r_trace))
       in
-      let replay_ms =
-        med (fun () ->
-            let o, ms =
-              timed (fun () ->
-                  Replay.Replayer.replay ~setup:a.Apps.Suite.a_setup ~trace
-                    ~binary ())
+      let replay =
+        time_ms (fun () ->
+            let o =
+              Replay.Replayer.replay ~setup:a.Apps.Suite.a_setup ~trace ~binary
+                ()
             in
             if not (Replay.Replayer.converged o) then
-              Printf.printf "!! %s diverged on replay\n" a.Apps.Suite.a_name;
-            ms)
+              Printf.printf "!! %s diverged on replay\n" a.Apps.Suite.a_name)
       in
       let calls =
         Array.fold_left
@@ -562,15 +681,27 @@ let replay_bench () =
             match ev with Replay.Trace.E_syscall _ -> n + 1 | _ -> n)
           0 trace.Replay.Trace.tr_events
       in
+      let live_ms = live.Perf.Stats.s_min
+      and record_ms = record.Perf.Stats.s_min
+      and replay_ms = replay.Perf.Stats.s_min in
       tl := !tl +. live_ms;
       tc := !tc +. record_ms;
       tp := !tp +. replay_ms;
+      let n = a.Apps.Suite.a_name in
+      rp_metrics :=
+        (n ^ ".calls", c_int calls)
+        :: (n ^ ".bytes", c_int (Replay.Reduce.byte_size trace))
+        :: (n ^ ".live_ms", Perf.Model.wall ~unit_:"ms" live)
+        :: (n ^ ".record_ms", Perf.Model.wall ~unit_:"ms" record)
+        :: (n ^ ".replay_ms", Perf.Model.wall ~unit_:"ms" replay)
+        :: !rp_metrics;
       Printf.printf "%-10s %8d %8.2fm %8.2fm %8.2fm %+7.1f%% %8.2fx %9d\n"
         a.Apps.Suite.a_name calls live_ms record_ms replay_ms
         ((record_ms -. live_ms) /. live_ms *. 100.0)
         (live_ms /. replay_ms)
         (Replay.Reduce.byte_size trace))
     Apps.Suite.all;
+  emit "replay" !rp_metrics;
   Printf.printf
     "suite: live %.1fms, record %.1fms (%+.1f%% overhead), replay %.1fms \
      (%.2fx vs live)\n"
@@ -592,44 +723,45 @@ let replay_bench () =
     single pass per app (the CI configuration). *)
 let observe_bench ?(smoke = false) () =
   header "Observe: metrics-on overhead vs plain runs (lib/observe)";
-  let med f =
-    if smoke then (
-      ignore (f ());
-      f ())
-    else
-      let xs = List.sort compare [ f (); f (); f () ] in
-      List.nth xs 1
-  in
-  let timed f =
-    let t0 = now () in
-    ignore (f ());
-    ms_of_ns (Int64.sub (now ()) t0)
-  in
+  (* smoke = one warmup + one sample per configuration (the CI shape);
+     the full run uses the min-of-3 estimator *)
+  let sample f = time_ms ~n:(if smoke then 1 else 3) f in
   Printf.printf "%-10s %9s %9s %9s  %8s\n" "app" "plain" "metrics" "all-on"
     "overhead";
+  let ob_metrics = ref [] in
   let tp = ref 0.0 and tm = ref 0.0 in
   List.iter
     (fun (a : Apps.Suite.app) ->
-      let plain = med (fun () -> timed (fun () -> Apps.Suite.run a)) in
+      let plain = sample (fun () -> ignore (Apps.Suite.run a)) in
       let metrics =
-        med (fun () ->
-            timed (fun () ->
-                Apps.Suite.run
-                  ~observe:(Observe.Sink.create Observe.Sink.metrics_only)
-                  a))
+        sample (fun () ->
+            ignore
+              (Apps.Suite.run
+                 ~observe:(Observe.Sink.create Observe.Sink.metrics_only)
+                 a))
       in
       let all_on =
-        med (fun () ->
-            timed (fun () ->
-                Apps.Suite.run ~observe:(Observe.Sink.create Observe.Sink.all_on)
-                  a))
+        sample (fun () ->
+            ignore
+              (Apps.Suite.run
+                 ~observe:(Observe.Sink.create Observe.Sink.all_on)
+                 a))
       in
-      tp := !tp +. plain;
-      tm := !tm +. metrics;
+      let plain_ms = plain.Perf.Stats.s_min
+      and metrics_ms = metrics.Perf.Stats.s_min in
+      tp := !tp +. plain_ms;
+      tm := !tm +. metrics_ms;
+      let n = a.Apps.Suite.a_name in
+      ob_metrics :=
+        (n ^ ".plain_ms", Perf.Model.wall ~unit_:"ms" plain)
+        :: (n ^ ".metrics_ms", Perf.Model.wall ~unit_:"ms" metrics)
+        :: (n ^ ".all_on_ms", Perf.Model.wall ~unit_:"ms" all_on)
+        :: !ob_metrics;
       Printf.printf "%-10s %8.2fm %8.2fm %8.2fm  %+7.1f%%\n"
-        a.Apps.Suite.a_name plain metrics all_on
-        ((metrics -. plain) /. plain *. 100.0))
+        a.Apps.Suite.a_name plain_ms metrics_ms all_on.Perf.Stats.s_min
+        ((metrics_ms -. plain_ms) /. plain_ms *. 100.0))
     Apps.Suite.all;
+  emit "observe" !ob_metrics;
   let pct = (!tm -. !tp) /. !tp *. 100.0 in
   Printf.printf "suite: plain %.1fms, metrics %.1fms (%+.1f%% overhead, budget 5%%)\n"
     !tp !tm pct;
@@ -641,11 +773,25 @@ let observe_bench ?(smoke = false) () =
 
 let usage () =
   print_endline
-    "usage: bench/main.exe [all|fig2|fig3|table1|table2|table3|fig7|fig8|fig8a|analysis|replay|observe [smoke]]"
+    "usage: bench/main.exe [--json=FILE] \
+     [all|fig2|fig3|table1|table2|table3|fig7|fig8|fig8a|analysis|replay|observe \
+     [smoke]]"
 
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  match which with
+  let json_out = ref None in
+  let args =
+    List.filter
+      (fun a ->
+        if String.length a > 7 && String.sub a 0 7 = "--json=" then begin
+          json_out := Some (String.sub a 7 (String.length a - 7));
+          false
+        end
+        else true)
+      (List.tl (Array.to_list Sys.argv))
+  in
+  let which = match args with w :: _ -> w | [] -> "all" in
+  let ok = ref true in
+  (match which with
   | "fig2" -> fig2 ()
   | "fig3" -> fig3 ()
   | "table1" -> table1 ()
@@ -658,10 +804,7 @@ let () =
       fig8bcd ()
   | "analysis" -> analysis_bench ()
   | "replay" -> replay_bench ()
-  | "observe" ->
-      observe_bench
-        ~smoke:(Array.length Sys.argv > 2 && Sys.argv.(2) = "smoke")
-        ()
+  | "observe" -> observe_bench ~smoke:(List.mem "smoke" args) ()
   | "all" ->
       fig2 ();
       fig3 ();
@@ -674,4 +817,9 @@ let () =
       analysis_bench ();
       replay_bench ();
       observe_bench ()
-  | _ -> usage ()
+  | _ ->
+      ok := false;
+      usage ());
+  match !json_out with
+  | Some f when !ok -> write_json f
+  | _ -> ()

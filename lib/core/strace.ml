@@ -41,21 +41,15 @@ let note t ~pid ~name ~args ~(result : int64) ~ns =
     match t.log with Some f -> f line | None -> prerr_endline line
   end
 
-(* Frequency order with a deterministic tie-break: equal-count syscalls
-   sort by name, not by hashtable iteration order. *)
-let by_freq count a b =
-  match compare (count b) (count a) with
-  | 0 -> compare (fst a) (fst b)
-  | c -> c
-
 (** (name, calls) sorted by frequency, most frequent first; ties break
-    alphabetically so the profile is stable across runs. *)
+    alphabetically so the profile is stable across runs. The comparator
+    lives in {!Observe.Metrics} and is shared with the walitop report
+    and waliperf, so every per-syscall table agrees on row order. *)
 let profile t : (string * int) list =
-  Observe.Metrics.fold
-    (fun name (s : Observe.Metrics.syscall_stats) acc ->
-      (name, s.Observe.Metrics.calls) :: acc)
-    t.reg []
-  |> List.sort (by_freq snd)
+  List.map
+    (fun (name, (s : Observe.Metrics.syscall_stats)) ->
+      (name, s.Observe.Metrics.calls))
+    (Observe.Metrics.by_calls t.reg)
 
 (** Per-syscall aggregate beyond the raw call count: error returns and
     total time spent below the WALI boundary. *)
@@ -70,8 +64,9 @@ let info_of (s : Observe.Metrics.syscall_stats) =
 
 (** (name, info) in the same deterministic order as [profile]. *)
 let profile_info t : (string * info) list =
-  Observe.Metrics.fold (fun name s acc -> (name, info_of s) :: acc) t.reg []
-  |> List.sort (by_freq (fun (_, i) -> i.i_calls))
+  List.map
+    (fun (name, s) -> (name, info_of s))
+    (Observe.Metrics.by_calls t.reg)
 
 let info t name = Option.map info_of (Observe.Metrics.find t.reg name)
 let total_errors t = Observe.Metrics.total_errors t.reg

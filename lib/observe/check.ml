@@ -167,3 +167,85 @@ let check_metrics (s : string) : (unit, string) result =
 
 (** Validate a folded profile dump; returns the total weight. *)
 let check_folded (s : string) : (int64, string) result = Profile.parse_total s
+
+(** Validate a benchmark-results dump against schema [wali-bench v1]:
+    header fields, a non-empty scenario map, and per-metric fields —
+    [kind] (counter|wall), [value], [unit]; wall metrics additionally
+    carry the sample count [n] and the MAD noise band [mad], which
+    deterministic counters must not (a counter with a noise band is a
+    mislabelled measurement). *)
+let check_bench (s : string) : (unit, string) result =
+  let* doc = Json.parse_result s in
+  let* schema =
+    match Option.bind (Json.member "schema" doc) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error "missing schema field"
+  in
+  if schema <> "wali-bench" then Error ("bad schema: " ^ schema)
+  else
+    let* version = num_field doc "version" in
+    if int_of_float version <> 1 then
+      Error (Printf.sprintf "unsupported version %g" version)
+    else
+      let* scenarios =
+        match Option.bind (Json.member "scenarios" doc) Json.to_obj with
+        | Some kvs -> Ok kvs
+        | None -> Error "missing scenarios object"
+      in
+      if scenarios = [] then Error "scenarios object is empty"
+      else
+        let check_metric sc name m =
+          let ctx msg =
+            Error (Printf.sprintf "scenario %S metric %S: %s" sc name msg)
+          in
+          let* kind =
+            match Option.bind (Json.member "kind" m) Json.to_str with
+            | Some k -> Ok k
+            | None -> ctx "missing kind"
+          in
+          let* _ =
+            match num_field m "value" with Ok v -> Ok v | Error e -> ctx e
+          in
+          let* _ =
+            match Option.bind (Json.member "unit" m) Json.to_str with
+            | Some u -> Ok u
+            | None -> ctx "missing unit"
+          in
+          match kind with
+          | "counter" ->
+              if Json.member "mad" m <> None then
+                ctx "counter carries a noise band"
+              else Ok ()
+          | "wall" ->
+              let* n =
+                match num_field m "n" with Ok v -> Ok v | Error e -> ctx e
+              in
+              let* mad =
+                match num_field m "mad" with Ok v -> Ok v | Error e -> ctx e
+              in
+              if n < 1.0 then ctx "wall metric with n < 1"
+              else if mad < 0.0 then ctx "negative noise band"
+              else Ok ()
+          | k -> ctx (Printf.sprintf "unknown kind %S" k)
+        in
+        let rec each_scenario = function
+          | [] -> Ok ()
+          | (sc, body) :: rest ->
+              let* metrics =
+                match Option.bind (Json.member "metrics" body) Json.to_obj with
+                | Some kvs -> Ok kvs
+                | None ->
+                    Error (Printf.sprintf "scenario %S missing metrics" sc)
+              in
+              if metrics = [] then
+                Error (Printf.sprintf "scenario %S has no metrics" sc)
+              else
+                let rec each_metric = function
+                  | [] -> each_scenario rest
+                  | (name, m) :: ms ->
+                      let* () = check_metric sc name m in
+                      each_metric ms
+                in
+                each_metric metrics
+        in
+        each_scenario scenarios

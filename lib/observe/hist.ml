@@ -67,6 +67,21 @@ let percentile t (q : float) : int64 =
     go 0 0
   end
 
+(** [merge a b]: a fresh histogram equivalent to recording every sample
+    of [a] and then every sample of [b] (commutative and associative up
+    to the bucketing, which loses nothing here — counts, totals, sums
+    and the recorded maximum all add or max exactly). This is how
+    per-process histograms aggregate into suite-level percentiles. *)
+let merge a b =
+  let t = create () in
+  for i = 0 to nbuckets - 1 do
+    t.counts.(i) <- a.counts.(i) + b.counts.(i)
+  done;
+  t.total <- a.total + b.total;
+  t.sum <- Int64.add a.sum b.sum;
+  t.vmax <- (if Int64.compare a.vmax b.vmax > 0 then a.vmax else b.vmax);
+  t
+
 (** Non-empty buckets as [(index, count)] pairs, index ascending. *)
 let nonzero t : (int * int) list =
   let acc = ref [] in

@@ -50,6 +50,27 @@ let by_name t : (string * syscall_stats) list =
   fold (fun name s acc -> (name, s) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(* Deterministic row orderings shared by every consumer that renders
+   per-syscall tables (Strace profiles, the walitop report, waliperf).
+   Both break remaining ties on the syscall name, never on hashtable
+   iteration order, so equal-count rows render identically across runs. *)
+
+let cmp_by_calls (an, (a : syscall_stats)) (bn, (b : syscall_stats)) =
+  match compare b.calls a.calls with 0 -> compare an bn | c -> c
+
+let cmp_by_time (an, (a : syscall_stats)) (bn, (b : syscall_stats)) =
+  let c = Int64.compare b.ns a.ns in
+  if c <> 0 then c
+  else match compare b.calls a.calls with 0 -> compare an bn | c -> c
+
+(** [(name, stats)] by call count descending, then name. *)
+let by_calls t : (string * syscall_stats) list =
+  fold (fun name s acc -> (name, s) :: acc) t [] |> List.sort cmp_by_calls
+
+(** [(name, stats)] by total time descending, then calls, then name. *)
+let by_time t : (string * syscall_stats) list =
+  fold (fun name s acc -> (name, s) :: acc) t [] |> List.sort cmp_by_time
+
 let reset t =
   Hashtbl.reset t.tbl;
   t.total <- 0

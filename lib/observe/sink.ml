@@ -232,6 +232,33 @@ let profile_folded o = Profile.dump o.pf
 let profile_total o = Profile.total o.pf
 let wall_ns o = o.wall_ns
 
+(** The always-on run counters as a plain record, so consumers (waliperf)
+    read them without going through the JSON dump. Every field is
+    deterministic — virtual clock, instruction counts, scheduler and
+    engine event counts — never the host wall clock. *)
+type run_counters = {
+  rc_wall_ns : int64;
+  rc_idle_ns : int64;
+  rc_instructions : int64;
+  rc_safepoint_polls : int64;
+  rc_traps : int;
+  rc_ctx_switches : int;
+  rc_processes : int;
+  rc_profile_ns : int64;
+}
+
+let run_counters o =
+  {
+    rc_wall_ns = o.wall_ns;
+    rc_idle_ns = o.idle_ns;
+    rc_instructions = o.instructions;
+    rc_safepoint_polls = o.polls;
+    rc_traps = o.traps;
+    rc_ctx_switches = o.ctx_switches;
+    rc_processes = o.procs;
+    rc_profile_ns = Profile.total o.pf;
+  }
+
 let schema_version = 1
 
 let kstats_or_zero o =
@@ -300,12 +327,7 @@ let report o : string =
   Printf.bprintf b "== syscalls ==\n";
   Printf.bprintf b "  %-18s %7s %6s %12s %9s %9s %9s\n" "name" "calls" "errs"
     "total_ns" "p50_ns" "p90_ns" "p99_ns";
-  let by_time =
-    Metrics.by_name o.reg
-    |> List.sort (fun (an, (a : Metrics.syscall_stats)) (bn, b) ->
-           let c = Int64.compare b.Metrics.ns a.Metrics.ns in
-           if c <> 0 then c else compare an bn)
-  in
+  let by_time = Metrics.by_time o.reg in
   List.iter
     (fun (name, (s : Metrics.syscall_stats)) ->
       Printf.bprintf b "  %-18s %7d %6d %12Ld %9Ld %9Ld %9Ld\n" name s.calls

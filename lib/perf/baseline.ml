@@ -1,0 +1,164 @@
+(** Baseline comparison: classify every metric of the current run against
+    the committed baseline.
+
+    Deterministic counters get 0% tolerance — any drift, in either
+    direction, is a real behavior change and fails the gate until the
+    baseline is deliberately updated. Wall metrics tolerate the larger of
+    a relative floor and the combined MAD noise bands of the two runs,
+    and only [Regressed] (slower beyond the band) counts against a
+    comparison. All units we emit are lower-is-better (ns, ms, counts of
+    work, bytes of trace), so "improved" means "smaller". *)
+
+type verdict =
+  | Unchanged (* exactly equal *)
+  | Within_noise (* wall metric inside its tolerance band *)
+  | Improved (* smaller, beyond tolerance *)
+  | Regressed (* larger, beyond tolerance *)
+  | Added (* in current, not in baseline *)
+  | Removed (* in baseline, gone from current *)
+
+let verdict_name = function
+  | Unchanged -> "unchanged"
+  | Within_noise -> "within-noise"
+  | Improved -> "improved"
+  | Regressed -> "REGRESSED"
+  | Added -> "added"
+  | Removed -> "removed"
+
+type row = {
+  r_scenario : string;
+  r_metric : string;
+  r_kind : Model.kind;
+  r_unit : string;
+  r_base : float;
+  r_cur : float;
+  r_delta_pct : float; (* (cur - base) / base * 100; 0 when base = 0 *)
+  r_tol_pct : float; (* the tolerance the verdict used *)
+  r_verdict : verdict;
+}
+
+(** Tolerance for a wall metric, in percent: the larger of [floor_pct]
+    and [k] times the combined relative noise of both measurements. *)
+let wall_tolerance ?(floor_pct = 5.0) ?(k = 3.0)
+    ~(base : Model.metric) ~(cur : Model.metric) () : float =
+  let rel m =
+    if m.Model.m_value <= 0.0 then 0.0 else m.Model.m_mad /. m.Model.m_value
+  in
+  Stdlib.max floor_pct (k *. (rel base +. rel cur) *. 100.0)
+
+let classify ?floor_pct ?k ~scenario ~name ~(base : Model.metric)
+    ~(cur : Model.metric) () : row =
+  let delta_pct =
+    if base.Model.m_value = 0.0 then
+      if cur.Model.m_value = 0.0 then 0.0 else 100.0
+    else
+      (cur.Model.m_value -. base.Model.m_value) /. base.Model.m_value *. 100.0
+  in
+  let tol, verdict =
+    match cur.Model.m_kind with
+    | Model.Counter ->
+        ( 0.0,
+          if cur.Model.m_value = base.Model.m_value then Unchanged
+          else if cur.Model.m_value < base.Model.m_value then Improved
+          else Regressed )
+    | Model.Wall ->
+        let tol = wall_tolerance ?floor_pct ?k ~base ~cur () in
+        ( tol,
+          if cur.Model.m_value = base.Model.m_value then Unchanged
+          else if abs_float delta_pct <= tol then Within_noise
+          else if delta_pct < 0.0 then Improved
+          else Regressed )
+  in
+  {
+    r_scenario = scenario;
+    r_metric = name;
+    r_kind = cur.Model.m_kind;
+    r_unit = cur.Model.m_unit;
+    r_base = base.Model.m_value;
+    r_cur = cur.Model.m_value;
+    r_delta_pct = delta_pct;
+    r_tol_pct = tol;
+    r_verdict = verdict;
+  }
+
+let missing ~scenario ~name ~(m : Model.metric) ~(verdict : verdict) : row =
+  {
+    r_scenario = scenario;
+    r_metric = name;
+    r_kind = m.Model.m_kind;
+    r_unit = m.Model.m_unit;
+    r_base = (if verdict = Added then 0.0 else m.Model.m_value);
+    r_cur = (if verdict = Added then m.Model.m_value else 0.0);
+    r_delta_pct = 0.0;
+    r_tol_pct = 0.0;
+    r_verdict = verdict;
+  }
+
+(** Compare two runs scenario by scenario, metric by metric. Rows come
+    out in the canonical scenario/metric order — deterministic. *)
+let compare_runs ?floor_pct ?k ~(base : Model.t) ~(cur : Model.t) () :
+    row list =
+  let rows = ref [] in
+  let emit r = rows := r :: !rows in
+  List.iter
+    (fun (sc, cur_metrics) ->
+      match Model.find_scenario base sc with
+      | None ->
+          List.iter
+            (fun (n, m) -> emit (missing ~scenario:sc ~name:n ~m ~verdict:Added))
+            cur_metrics
+      | Some base_metrics ->
+          List.iter
+            (fun (n, cur_m) ->
+              match List.assoc_opt n base_metrics with
+              | None -> emit (missing ~scenario:sc ~name:n ~m:cur_m ~verdict:Added)
+              | Some base_m ->
+                  emit
+                    (classify ?floor_pct ?k ~scenario:sc ~name:n ~base:base_m
+                       ~cur:cur_m ()))
+            cur_metrics;
+          List.iter
+            (fun (n, m) ->
+              if List.assoc_opt n cur_metrics = None then
+                emit (missing ~scenario:sc ~name:n ~m ~verdict:Removed))
+            base_metrics)
+    cur.Model.b_scenarios;
+  List.iter
+    (fun (sc, base_metrics) ->
+      if Model.find_scenario cur sc = None then
+        List.iter
+          (fun (n, m) -> emit (missing ~scenario:sc ~name:n ~m ~verdict:Removed))
+          base_metrics)
+    base.Model.b_scenarios;
+  List.rev !rows
+
+let regressions rows = List.filter (fun r -> r.r_verdict = Regressed) rows
+
+(** Counter rows that moved at all — the gate's failure condition. A
+    counter that "improved" without a baseline update is just as much an
+    unexplained behavior change as one that regressed. *)
+let counter_drift rows =
+  List.filter
+    (fun r ->
+      r.r_kind = Model.Counter
+      && (match r.r_verdict with
+         | Unchanged | Within_noise -> false
+         | Improved | Regressed | Added | Removed -> true))
+    rows
+
+(** Render rows as an aligned table; [all] includes unchanged rows. *)
+let render ?(all = false) (rows : row list) : string =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "%-28s %-16s %14s %14s %8s %6s  %s\n" "scenario" "metric"
+    "baseline" "current" "delta" "tol" "verdict";
+  List.iter
+    (fun r ->
+      if all || r.r_verdict <> Unchanged then
+        Printf.bprintf b "%-28s %-16s %14s %14s %+7.1f%% %5.1f%%  %s\n"
+          r.r_scenario r.r_metric
+          (Model.pp_num r.r_base ^ " " ^ r.r_unit)
+          (Model.pp_num r.r_cur ^ " " ^ r.r_unit)
+          r.r_delta_pct r.r_tol_pct
+          (verdict_name r.r_verdict))
+    rows;
+  Buffer.contents b

@@ -1,0 +1,142 @@
+(** Differential profiler: diff two folded-stack dumps (the
+    {!Observe.Profile} output format) into a flamegraph-diff report.
+
+    Weights are deterministic profile nanoseconds (instructions retired
+    plus virtual time below the WALI boundary), so a non-zero delta is a
+    real behavior change, and the frames and syscall leaves carrying the
+    delta name the responsible code. *)
+
+type entry = {
+  e_stack : string; (* semicolon-joined frames, leaf last *)
+  e_base : int64;
+  e_cur : int64;
+}
+
+let delta e = Int64.sub e.e_cur e.e_base
+
+type t = {
+  d_base_total : int64;
+  d_cur_total : int64;
+  d_entries : entry list; (* |delta| descending, then stack *)
+}
+
+let total_delta t = Int64.sub t.d_cur_total t.d_base_total
+
+(** Parse a folded dump into [(stack, weight)] pairs. Duplicate stacks
+    (legal in the format) accumulate. *)
+let parse_folded (s : string) : ((string * int64) list, string) result =
+  let tbl : (string, int64 ref) Hashtbl.t = Hashtbl.create 64 in
+  let rec go = function
+    | [] ->
+        Ok
+          (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl []
+          |> List.sort (fun (a, _) (b, _) -> compare a b))
+    | "" :: rest -> go rest
+    | line :: rest -> (
+        match String.rindex_opt line ' ' with
+        | None -> Error (Printf.sprintf "malformed folded line: %s" line)
+        | Some i -> (
+            let stack = String.sub line 0 i in
+            let w = String.sub line (i + 1) (String.length line - i - 1) in
+            match Int64.of_string_opt w with
+            | None -> Error (Printf.sprintf "malformed weight: %s" line)
+            | Some w ->
+                (match Hashtbl.find_opt tbl stack with
+                | Some r -> r := Int64.add !r w
+                | None -> Hashtbl.replace tbl stack (ref w));
+                go rest))
+  in
+  go (String.split_on_char '\n' s)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let cmp_abs_delta a b =
+  let c = Int64.compare (Int64.abs (delta b)) (Int64.abs (delta a)) in
+  if c <> 0 then c else compare a.e_stack b.e_stack
+
+(** Diff two folded dumps. Stacks present on only one side diff against
+    weight 0 on the other. *)
+let diff ~(base : string) ~(cur : string) : (t, string) result =
+  let* base_l = parse_folded base in
+  let* cur_l = parse_folded cur in
+  let tbl : (string, int64 * int64) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (k, w) -> Hashtbl.replace tbl k (w, 0L)) base_l;
+  List.iter
+    (fun (k, w) ->
+      match Hashtbl.find_opt tbl k with
+      | Some (bw, _) -> Hashtbl.replace tbl k (bw, w)
+      | None -> Hashtbl.replace tbl k (0L, w))
+    cur_l;
+  let entries =
+    Hashtbl.fold
+      (fun k (bw, cw) acc ->
+        if Int64.equal bw cw then acc
+        else { e_stack = k; e_base = bw; e_cur = cw } :: acc)
+      tbl []
+    |> List.sort cmp_abs_delta
+  in
+  let sum l = List.fold_left (fun a (_, w) -> Int64.add a w) 0L l in
+  Ok { d_base_total = sum base_l; d_cur_total = sum cur_l; d_entries = entries }
+
+(* Net delta attributed per frame: each changed stack charges its delta
+   to every distinct frame on it (once, even under recursion). The frame
+   carrying the largest |delta| names the responsible code. *)
+let by_frame (t : t) ~(pick : string list -> string list) :
+    (string * int64) list =
+  let tbl : (string, int64 ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let frames =
+        pick (String.split_on_char ';' e.e_stack) |> List.sort_uniq compare
+      in
+      List.iter
+        (fun f ->
+          match Hashtbl.find_opt tbl f with
+          | Some r -> r := Int64.add !r (delta e)
+          | None -> Hashtbl.replace tbl f (ref (delta e)))
+        frames)
+    t.d_entries;
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl []
+  |> List.filter (fun (_, d) -> not (Int64.equal d 0L))
+  |> List.sort (fun (an, a) (bn, b) ->
+         let c = Int64.compare (Int64.abs b) (Int64.abs a) in
+         if c <> 0 then c else compare an bn)
+
+(** Delta per frame, any stack position. *)
+let frames (t : t) : (string * int64) list = by_frame t ~pick:(fun fs -> fs)
+
+(** Delta per leaf frame — for WALI profiles the leaf of a boundary
+    crossing is the syscall name, so this attributes drift to syscalls. *)
+let leaves (t : t) : (string * int64) list =
+  by_frame t ~pick:(fun fs ->
+      match List.rev fs with [] -> [] | leaf :: _ -> [ leaf ])
+
+(** Human flamegraph-diff report: totals, the top changed stacks, and the
+    responsible frames and leaves. *)
+let render ?(top = 10) (t : t) : string =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b
+    "profile delta: %+Ld ns (baseline %Ld ns -> current %Ld ns), %d stacks changed\n"
+    (total_delta t) t.d_base_total t.d_cur_total
+    (List.length t.d_entries);
+  if t.d_entries = [] then Buffer.add_string b "profiles are identical\n"
+  else begin
+    Printf.bprintf b "top changed stacks:\n";
+    List.iteri
+      (fun i e ->
+        if i < top then
+          Printf.bprintf b "  %+10Ld ns  %s  (%Ld -> %Ld)\n" (delta e)
+            e.e_stack e.e_base e.e_cur)
+      t.d_entries;
+    Printf.bprintf b "responsible frames:\n";
+    List.iteri
+      (fun i (f, d) ->
+        if i < top then Printf.bprintf b "  %+10Ld ns  %s\n" d f)
+      (frames t);
+    Printf.bprintf b "responsible leaves (syscalls):\n";
+    List.iteri
+      (fun i (f, d) ->
+        if i < top then Printf.bprintf b "  %+10Ld ns  %s\n" d f)
+      (leaves t)
+  end;
+  Buffer.contents b

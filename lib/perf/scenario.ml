@@ -1,0 +1,104 @@
+(** The deterministic scenario runner behind `waliperf`.
+
+    Each bundled app runs once with the metrics and profiling pillars on
+    (no tracing — the trace buffer is the one pillar whose cost scales
+    with the run and the gate never reads it), and reports only
+    deterministic counters: instructions retired, syscall crossings,
+    virtual-clock nanoseconds, scheduler and kernel event counts. Two
+    runs of the same build produce byte-identical results, which is what
+    lets the baseline gate use zero tolerance.
+
+    The suite-level scenario merges every per-app latency histogram
+    ({!Observe.Hist.merge}) into whole-suite percentiles of time below
+    the WALI boundary — still virtual-clock, still deterministic. *)
+
+let gate_cfg =
+  { Observe.Sink.c_metrics = true; c_trace = false; c_profile = true }
+
+type app_result = {
+  ar_name : string;
+  ar_status : int; (* raw wait status *)
+  ar_metrics : (string * Model.metric) list;
+  ar_folded : string; (* the folded-stack profile of the run *)
+  ar_reg : Observe.Metrics.t; (* the run's syscall registry *)
+}
+
+let scenario_name app = "app/" ^ app
+
+let run_app (a : Apps.Suite.app) : app_result =
+  let sink = Observe.Sink.create gate_cfg in
+  let status, _out = Apps.Suite.run ~observe:sink a in
+  let rc = Observe.Sink.run_counters sink in
+  let reg = Observe.Sink.metrics sink in
+  let ci = Model.counter_i in
+  let c v = Model.counter (float_of_int v) in
+  {
+    ar_name = a.Apps.Suite.a_name;
+    ar_status = status;
+    ar_metrics =
+      [
+        ("instructions", ci rc.Observe.Sink.rc_instructions);
+        ("syscalls", c (Observe.Metrics.total_calls reg));
+        ("unique_syscalls", c (Observe.Metrics.unique reg));
+        ("syscall_errors", c (Observe.Metrics.total_errors reg));
+        ("syscall_ns", ci ~unit_:"ns" (Observe.Metrics.total_ns reg));
+        ("virtual_ns", ci ~unit_:"ns" rc.Observe.Sink.rc_wall_ns);
+        ("profile_ns", ci ~unit_:"ns" rc.Observe.Sink.rc_profile_ns);
+        ("ctx_switches", c rc.Observe.Sink.rc_ctx_switches);
+        ("processes", c rc.Observe.Sink.rc_processes);
+        ("safepoint_polls", ci rc.Observe.Sink.rc_safepoint_polls);
+        ("exit_status", c (status lsr 8));
+      ];
+    ar_folded = Observe.Sink.profile_folded sink;
+    ar_reg = reg;
+  }
+
+(** Suite-level aggregate: merge the per-syscall latency histograms of
+    every app into one, and report whole-suite counters and latency
+    percentiles below the WALI boundary. *)
+let suite_scenario (results : app_result list) :
+    string * (string * Model.metric) list =
+  let merged =
+    List.fold_left
+      (fun acc r ->
+        Observe.Metrics.fold
+          (fun _ (s : Observe.Metrics.syscall_stats) acc ->
+            Observe.Hist.merge acc s.Observe.Metrics.hist)
+          r.ar_reg acc)
+      (Observe.Hist.create ()) results
+  in
+  let sum name =
+    List.fold_left
+      (fun a r ->
+        match List.assoc_opt name r.ar_metrics with
+        | Some m -> a +. m.Model.m_value
+        | None -> a)
+      0.0 results
+  in
+  ( "suite",
+    [
+      ("apps", Model.counter (float_of_int (List.length results)));
+      ("instructions", Model.counter (sum "instructions"));
+      ("syscalls", Model.counter (sum "syscalls"));
+      ("virtual_ns", Model.counter ~unit_:"ns" (sum "virtual_ns"));
+      ( "latency_p50_ns",
+        Model.counter_i ~unit_:"ns" (Observe.Hist.percentile merged 0.50) );
+      ( "latency_p90_ns",
+        Model.counter_i ~unit_:"ns" (Observe.Hist.percentile merged 0.90) );
+      ( "latency_p99_ns",
+        Model.counter_i ~unit_:"ns" (Observe.Hist.percentile merged 0.99) );
+      ( "latency_max_ns",
+        Model.counter_i ~unit_:"ns" (Observe.Hist.max_value merged) );
+    ] )
+
+(** Run the suite's deterministic scenarios: the [wali-bench v1] run plus
+    the per-app folded profiles (for the differential profiler). *)
+let run_suite ?(apps = Apps.Suite.all) () : Model.t * (string * string) list =
+  let results = List.map run_app apps in
+  let scenarios =
+    suite_scenario results
+    :: List.map (fun r -> (scenario_name r.ar_name, r.ar_metrics)) results
+  in
+  let model = Model.make ~suite:"wali-deterministic" scenarios in
+  let profiles = List.map (fun r -> (r.ar_name, r.ar_folded)) results in
+  (model, profiles)

@@ -1,0 +1,51 @@
+(** Wall-clock sample statistics: min-of-N with a MAD-based noise band.
+
+    Host wall time is a one-sided distribution — contention only ever
+    adds time — so the minimum of N repeats is the best estimator of the
+    uncontended cost, and the median absolute deviation (MAD) of the
+    samples is a robust noise band that a single outlier cannot inflate.
+    Deterministic counters never go through this module: they are exact
+    and gate at zero tolerance (see {!Baseline}). *)
+
+type t = {
+  s_n : int; (* samples behind the estimate *)
+  s_min : float; (* the reported value: min of the samples *)
+  s_median : float;
+  s_mad : float; (* median |sample - median|: the noise band *)
+}
+
+let zero = { s_n = 0; s_min = 0.0; s_median = 0.0; s_mad = 0.0 }
+
+(** Median of a non-empty list (mean of the middle two for even n). *)
+let median (xs : float list) : float =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+      let n = List.length sorted in
+      if n mod 2 = 1 then List.nth sorted (n / 2)
+      else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
+
+let of_samples (xs : float list) : t =
+  match xs with
+  | [] -> zero
+  | _ ->
+      let med = median xs in
+      {
+        s_n = List.length xs;
+        s_min = List.fold_left min infinity xs;
+        s_median = med;
+        s_mad = median (List.map (fun x -> abs_float (x -. med)) xs);
+      }
+
+(** [measure ~n f] runs the sampler [f] once for warmup (discarded), then
+    [n] times, and summarizes the samples. [f] returns one measurement —
+    the clock stays with the caller so this library needs none. *)
+let measure ?(warmup = 1) ?(n = 5) (f : unit -> float) : t =
+  for _ = 1 to warmup do
+    ignore (f ())
+  done;
+  of_samples (List.init n (fun _ -> f ()))
+
+(** Relative noise band, as a fraction of the reported minimum (0 when
+    the minimum is 0 — an all-zero measurement has no meaningful band). *)
+let rel_noise (s : t) : float = if s.s_min <= 0.0 then 0.0 else s.s_mad /. s.s_min

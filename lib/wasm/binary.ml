@@ -361,6 +361,30 @@ let encode (m : module_) : string =
                 E.u32 p (String.length d.d_bytes);
                 Buffer.add_string p d.d_bytes)
               m.datas));
+  (* Custom "name" section, function-name subsection (spec §7.4.1):
+     carries the compiler's diagnostic names across the binary boundary,
+     so stacks in profiles and flamegraph diffs name real functions
+     instead of synthetic func<N> indices. Execution is unaffected. *)
+  let named =
+    Array.to_list m.funcs
+    |> List.mapi (fun i f -> (num_imported_funcs m + i, f.f_name))
+    |> List.filter (fun (_, n) -> n <> "")
+  in
+  if named <> [] then begin
+    let p = Buffer.create 256 in
+    E.name p "name";
+    let sub = Buffer.create 256 in
+    E.u32 sub (List.length named);
+    List.iter
+      (fun (i, n) ->
+        E.u32 sub i;
+        E.name sub n)
+      named;
+    E.byte p 1;
+    E.u32 p (Buffer.length sub);
+    Buffer.add_buffer p sub;
+    E.section b 0 p
+  end;
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
@@ -617,7 +641,28 @@ let decode ?(name = "") (src : string) : module_ =
     let size = D.u32 d in
     let stop = d.D.pos + size in
     (match id with
-    | 0 -> d.D.pos <- stop (* custom section: skip *)
+    | 0 ->
+        (* Custom section: decode function names from the "name" section
+           (it follows the code section, so funcs are already in place);
+           every other custom section is skipped. *)
+        if D.name d = "name" then
+          while d.D.pos < stop do
+            let sub = D.byte d in
+            let len = D.u32 d in
+            let sub_stop = d.D.pos + len in
+            if sub = 1 then begin
+              let k = D.u32 d in
+              for _ = 1 to k do
+                let idx = D.u32 d in
+                let nm = D.name d in
+                let j = idx - num_imported_funcs !m in
+                if j >= 0 && j < Array.length !m.funcs then
+                  !m.funcs.(j) <- { (!m.funcs.(j)) with f_name = nm }
+              done
+            end;
+            d.D.pos <- sub_stop
+          done;
+        d.D.pos <- stop
     | 1 ->
         let n = D.u32 d in
         let types =

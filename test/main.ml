@@ -14,4 +14,5 @@ let () =
       ("analysis", Test_analysis.tests);
       ("replay", Test_replay.tests);
       ("observe", Test_observe.tests);
+      ("perf", Test_perf.tests);
     ]

@@ -75,6 +75,65 @@ let test_hist_percentiles () =
   Alcotest.(check (list (pair int int)))
     "nonzero buckets" [ (1, 100); (20, 1); (63, 1) ] (nonzero h)
 
+let test_hist_merge () =
+  let open Observe.Hist in
+  let fill samples =
+    let h = create () in
+    List.iter (record h) samples;
+    h
+  in
+  let fingerprint h = (count h, sum h, max_value h, nonzero h) in
+  let check_eq msg a b =
+    if fingerprint a <> fingerprint b then
+      Alcotest.failf "%s: merged histograms differ" msg
+  in
+  let a = fill [ 1L; 2L; 1000L ] in
+  let b = fill [ 7L; 7L; 7L; 1_000_000L ] in
+  let c = fill [ 0L; Int64.max_int ] in
+  (* merge is a pure sum: merging equals recording the union *)
+  check_eq "merge = union of samples"
+    (fill [ 1L; 2L; 1000L; 7L; 7L; 7L; 1_000_000L ])
+    (merge a b);
+  (* associativity and commutativity over all bucket state *)
+  check_eq "associative" (merge (merge a b) c) (merge a (merge b c));
+  check_eq "commutative" (merge a b) (merge b a);
+  check_eq "empty is identity" a (merge a (create ()));
+  (* inputs untouched *)
+  Alcotest.(check int) "a untouched" 3 (count a);
+  Alcotest.(check int) "b untouched" 4 (count b);
+  (* percentiles of a merged histogram are monotone in p *)
+  let m = merge (merge a b) c in
+  let last = ref Int64.min_int in
+  List.iter
+    (fun p ->
+      let v = percentile m p in
+      if Int64.compare v !last < 0 then
+        Alcotest.failf "percentile not monotone at p=%.2f" p;
+      last := v)
+    [ 0.0; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ]
+
+(* ---- deterministic row ordering (shared comparators) ---- *)
+
+let test_metrics_sort_tiebreak () =
+  let reg = Observe.Metrics.create () in
+  (* three syscalls with identical call counts and times: only the name
+     can order them, and it must, identically for both comparators *)
+  List.iter
+    (fun n -> Observe.Metrics.record reg ~name:n ~result:0L ~ns:10L)
+    [ "write"; "close"; "openat" ];
+  let names l = List.map fst l in
+  Alcotest.(check (list string))
+    "by_calls breaks ties on name" [ "close"; "openat"; "write" ]
+    (names (Observe.Metrics.by_calls reg));
+  Alcotest.(check (list string))
+    "by_time breaks ties on name" [ "close"; "openat"; "write" ]
+    (names (Observe.Metrics.by_time reg));
+  (* a busier syscall still sorts first *)
+  Observe.Metrics.record reg ~name:"write" ~result:0L ~ns:10L;
+  Alcotest.(check (list string))
+    "calls dominate, then name" [ "write"; "close"; "openat" ]
+    (names (Observe.Metrics.by_calls reg))
+
 (* ---- JSON parser ---- *)
 
 let test_json_parser () =
@@ -210,6 +269,9 @@ let tests =
   [
     Alcotest.test_case "histogram bucket edges" `Quick test_hist_buckets;
     Alcotest.test_case "histogram percentiles" `Quick test_hist_percentiles;
+    Alcotest.test_case "histogram merge" `Quick test_hist_merge;
+    Alcotest.test_case "metrics sort tie-breaks on name" `Quick
+      test_metrics_sort_tiebreak;
     Alcotest.test_case "json parser" `Quick test_json_parser;
     Alcotest.test_case "minish trace well-formed, 2+ lanes" `Quick
       test_trace_minish;
