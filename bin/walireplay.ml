@@ -57,14 +57,14 @@ let find_app name =
 
 (* Record one target the way Suite.run drives it: boot, app setup,
    scripted stdin (EOF via dropped writer), then the recorded run. *)
-let record_target (t : target) : Replay.Recorder.run =
+let record_target ?(fuse = true) (t : target) : Replay.Recorder.run =
   let kernel = Kernel.Task.boot () in
   t.t_setup kernel;
   if t.t_stdin <> "" then begin
     Kernel.Task.console_feed kernel t.t_stdin;
     Kernel.Pipe.drop_writer kernel.Kernel.Task.console_in
   end;
-  Replay.Recorder.record ~app:t.t_name ~kernel ~binary:t.t_binary
+  Replay.Recorder.record ~app:t.t_name ~fuse ~kernel ~binary:t.t_binary
     ~argv:t.t_argv ~env:[] ()
 
 let load_trace file =
@@ -199,23 +199,44 @@ let reduce_cmd file out prefix =
 
 (* ---- gate: record + codec round-trip + replay every bundled app ---- *)
 
+(* The gate is also the fusion differential harness: every app records
+   twice, once with macro-op fusion and once without, and the two encoded
+   traces must be byte-identical. Fusion may only change how fast ops
+   dispatch, never which events cross the WALI boundary — any divergence
+   (syscall order, arguments, results, signal coordinates, exit status)
+   shows up as an encoding mismatch and fails the gate. *)
 let gate_cmd quiet =
   let ok = ref true in
   List.iter
     (fun a ->
       let t = target_of_app a in
-      let r = record_target t in
+      let r = record_target ~fuse:true t in
       let reduced = Replay.Reduce.reduce r.Replay.Recorder.r_trace in
+      let fused_bytes = Replay.Trace.encode reduced in
+      let r_nf = record_target ~fuse:false t in
+      let nf_bytes =
+        Replay.Trace.encode (Replay.Reduce.reduce r_nf.Replay.Recorder.r_trace)
+      in
+      if fused_bytes <> nf_bytes then begin
+        ok := false;
+        Printf.eprintf
+          "walireplay: %s: FUSION DIVERGENCE: fused and unfused runs \
+           recorded different traces (%d vs %d bytes)\n"
+          t.t_name
+          (String.length fused_bytes)
+          (String.length nf_bytes)
+      end;
       (* exercise the codec on every trace: what replays is the
          decode of the encode *)
-      let trace = Replay.Trace.decode (Replay.Trace.encode reduced) in
+      let trace = Replay.Trace.decode fused_bytes in
       let o =
         Replay.Replayer.replay ~setup:t.t_setup ~trace ~binary:t.t_binary ()
       in
       match o.Replay.Replayer.rp_divergence with
       | None ->
           if not quiet then
-            Printf.printf "%-10s %6d records %8d bytes  status %-3d replay ok\n"
+            Printf.printf
+              "%-10s %6d records %8d bytes  status %-3d replay ok  fused=unfused\n"
               t.t_name
               (Array.length trace.Replay.Trace.tr_events)
               (Replay.Reduce.byte_size trace)
@@ -227,7 +248,8 @@ let gate_cmd quiet =
     Apps.Suite.all;
   if !ok && quiet then
     Printf.printf
-      "walireplay: %d apps recorded and replayed with zero divergences\n"
+      "walireplay: %d apps recorded fused and unfused with byte-identical \
+       traces and replayed with zero divergences\n"
       (List.length Apps.Suite.all);
   exit (if !ok then 0 else 1)
 

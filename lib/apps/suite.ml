@@ -173,7 +173,7 @@ let binary_of (a : app) : string =
     lets callers run the suite under e.g. a statically derived seccomp
     allowlist (see lib/analysis). *)
 let run ?(argv : string list option) ?(env = []) ?trace ?policy ?poll_scheme
-    ?observe (a : app) : int * string =
+    ?fuse ?observe (a : app) : int * string =
   let binary = binary_of a in
   let kernel = Kernel.Task.boot () in
   a.a_setup kernel;
@@ -183,8 +183,8 @@ let run ?(argv : string list option) ?(env = []) ?trace ?policy ?poll_scheme
     Kernel.Pipe.drop_writer kernel.Kernel.Task.console_in
   end;
   let status, out, _ =
-    Wali.Interface.run_program ~kernel ?trace ?policy ?poll_scheme ?observe
-      ~binary
+    Wali.Interface.run_program ~kernel ?trace ?policy ?poll_scheme ?fuse
+      ?observe ~binary
       ~argv:(Option.value argv ~default:a.a_argv)
       ~env ()
   in

@@ -54,7 +54,7 @@ let apply_layer (k : Task.kernel) (root : Vfs.inode) (cg : cgroup)
   List.iter
     (fun path ->
       match Vfs.resolve_parent fs ~cwd:root path with
-      | Ok (dir, name) -> ignore (Vfs.unlink dir name)
+      | Ok (dir, name) -> ignore (Vfs.unlink fs dir name)
       | Error _ -> ())
     l.Image.l_whiteouts;
   List.iter
@@ -62,7 +62,7 @@ let apply_layer (k : Task.kernel) (root : Vfs.inode) (cg : cgroup)
       match Vfs.resolve_parent fs ~cwd:root path with
       | Ok (dir, name) -> (
           (match Vfs.lookup dir name with
-          | Some _ -> ignore (Vfs.unlink dir name)
+          | Some _ -> ignore (Vfs.unlink fs dir name)
           | None -> ());
           match Vfs.create_file fs dir name ~mode:0o755 with
           | Ok node -> (
@@ -112,7 +112,7 @@ let create (k : Task.kernel) ~(name : string) (img : Image.t)
     match Vfs.resolve_parent fs ~cwd:root path with
     | Ok (dir, nm) -> (
         (match Vfs.lookup dir nm with
-        | Some _ -> ignore (Vfs.unlink dir nm)
+        | Some _ -> ignore (Vfs.unlink fs dir nm)
         | None -> ());
         match Vfs.create_file fs dir nm ~mode:0o644 with
         | Ok node -> (
@@ -159,6 +159,6 @@ let destroy (k : Task.kernel) (ct : t) : unit =
             | _ -> ()
           in
           rm_rf dir;
-          ignore (Vfs.rmdir parent name)
+          ignore (Vfs.rmdir fs parent name)
       | Error _ -> ())
   | Error _ -> ()

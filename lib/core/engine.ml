@@ -39,6 +39,7 @@ type t = {
   trace : Strace.t;
   mutable policy : Seccomp.t;
   mutable poll_scheme : Code.poll_scheme;
+  mutable fuse : bool; (* run the macro-op fusion pass on new images *)
   procs : (int, proc) Hashtbl.t; (* task tid -> proc *)
   mutable next_mem_id : int;
   mutable live_procs : int;
@@ -76,9 +77,9 @@ and interposer = {
          a second time on top of the injected recorded delivery. *)
 }
 
-let create ?(poll_scheme = Code.Poll_loops) ?(trace = Strace.create ())
-    ?(policy = Seccomp.allow_all ()) ?observe (kernel : Kernel.Task.kernel) : t
-    =
+let create ?(poll_scheme = Code.Poll_loops) ?(fuse = true)
+    ?(trace = Strace.create ()) ?(policy = Seccomp.allow_all ()) ?observe
+    (kernel : Kernel.Task.kernel) : t =
   (match observe with
   | Some o -> Observe.Sink.set_kstats o kernel.Kernel.Task.stats
   | None -> ());
@@ -88,6 +89,7 @@ let create ?(poll_scheme = Code.Poll_loops) ?(trace = Strace.create ())
     trace;
     policy;
     poll_scheme;
+    fuse;
     procs = Hashtbl.create 16;
     next_mem_id = 1;
     live_procs = 0;
@@ -111,7 +113,7 @@ let find_proc eng tid = Hashtbl.find_opt eng.procs tid
 (** The machine's current Wasm call stack, outermost first — the folded
     profile's frame order. *)
 let machine_stack (m : Rt.machine) : string list =
-  List.rev_map (fun fr -> fr.Rt.fr_code.Code.fc_name) m.Rt.frames
+  List.init m.Rt.depth (fun i -> m.Rt.frames.(i).Rt.fr_code.Code.fc_name)
 
 (** Install the profiler's call/return sample hook on a machine (new
     process images and spawned threads; fork children inherit the hook
@@ -255,12 +257,40 @@ let poll_hook eng : Rt.machine -> unit =
 (* Image construction                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Decode + compile is pure in the binary (and the compile options), and
+   [Link.instantiate] never mutates the compiled module — memories,
+   globals and tables are built fresh per instance — so compiled images
+   are shared across processes and repeated execs of the same binary.
+   Compilation consumes no virtual time, so the cache cannot perturb any
+   deterministic counter; it only removes redundant host work. *)
+let compile_cache : (string * string * Code.poll_scheme * bool, Code.compiled)
+    Hashtbl.t =
+  Hashtbl.create 16
+
+let compile_cache_max = 64
+
+let compile_cached ~poll ~fuse ~name binary : Code.compiled =
+  let key = (Digest.string binary, name, poll, fuse) in
+  match Hashtbl.find_opt compile_cache key with
+  | Some cm -> cm
+  | None ->
+      let m = Binary.decode ~name binary in
+      let cm = Code.compile_module ~poll ~fuse m in
+      if Hashtbl.length compile_cache >= compile_cache_max then
+        Hashtbl.reset compile_cache;
+      Hashtbl.replace compile_cache key cm;
+      cm
+
 (** Compile and instantiate a Wasm binary as a fresh process image. *)
 let build_image eng ~(resolver : Link.resolver) ~(binary : string)
     ~(name : string) : Rt.instance =
-  ignore eng;
-  let m = Binary.decode ~name binary in
-  let cm = Code.compile_module ~poll:eng.poll_scheme m in
+  let cm = compile_cached ~poll:eng.poll_scheme ~fuse:eng.fuse ~name binary in
+  (match eng.observe with
+  | Some o ->
+      let fs = cm.Code.cm_fuse in
+      Observe.Sink.note_fusion o ~ops_before:fs.Code.fs_ops_before
+        ~ops_after:fs.Code.fs_ops_after ~sites:fs.Code.fs_sites
+  | None -> ());
   let inst, start = Link.instantiate ~name resolver cm in
   (match start with
   | Some _ -> () (* start functions run on first invoke by convention *)
@@ -335,6 +365,7 @@ let do_exit eng (p : proc) ~(status : int) : unit =
             Observe.Sink.prof_reset o ~pid:m.Rt.m_pid
           end;
           Observe.Sink.instr_retire o ~pid:m.Rt.m_pid ~steps:m.Rt.steps
+            ~fused:m.Rt.fused
       | None -> ());
       Observe.Sink.proc_exit o ~pid:task.Task.tgid ~tid:task.Task.tid ~status
         ~ts:(Fiber.now ())

@@ -56,7 +56,7 @@ let do_fork eng (p : Engine.proc) (child_m : Rt.machine) : int64 =
   (match eng.Engine.observe with
   | Some o ->
       Observe.Sink.instr_baseline o ~pid:child_task.Task.tid
-        ~steps:child_m.Rt.steps
+        ~steps:child_m.Rt.steps ~fused:child_m.Rt.fused
   | None -> ());
   ignore
     (Fiber.spawn
@@ -117,7 +117,7 @@ let do_execve eng (p : Engine.proc) mem ~path_ptr ~argv_ptr ~envp_ptr :
                     Observe.Sink.prof_reset o ~pid:m_old.Rt.m_pid
                   end;
                   Observe.Sink.instr_retire o ~pid:m_old.Rt.m_pid
-                    ~steps:m_old.Rt.steps
+                    ~steps:m_old.Rt.steps ~fused:m_old.Rt.fused
               | _ -> ());
               (* POSIX: caught signals reset to default across exec. *)
               let actions = task.Task.group.Task.actions in
@@ -960,14 +960,14 @@ let spawn_init (eng : Engine.t) ~(binary : string) ~(argv : string list)
     the VFS, run it to completion, return (exit_status, console output,
     result). Used by tests, examples and benches. *)
 let run_program ?(kernel : Task.kernel option) ?(poll_scheme = Code.Poll_loops)
-    ?(trace : Strace.t option) ?(policy : Seccomp.t option)
+    ?(fuse = true) ?(trace : Strace.t option) ?(policy : Seccomp.t option)
     ?(observe : Observe.Sink.t option) ~(binary : string)
     ~(argv : string list) ~(env : string list) () :
     int * string * Interp.run_result option =
   let kernel = match kernel with Some k -> k | None -> Task.boot () in
   let trace = match trace with Some t -> t | None -> Strace.create () in
   let policy = match policy with Some p -> p | None -> Seccomp.allow_all () in
-  let eng = Engine.create ~poll_scheme ~trace ~policy ?observe kernel in
+  let eng = Engine.create ~poll_scheme ~fuse ~trace ~policy ?observe kernel in
   let status = ref 0 in
   let result = ref None in
   (match observe with Some o -> Observe.Sink.attach o | None -> ());

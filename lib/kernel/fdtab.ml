@@ -23,10 +23,15 @@ type entry = { mutable e_desc : desc; mutable e_cloexec : bool }
 type t = {
   mutable slots : entry option array;
   mutable max_fds : int;
+  (* Last-fd fast path: most syscall bursts hammer a single descriptor
+     (read/read/read on one fd), so remember the last successful lookup
+     and serve repeats without touching the slot array.  Any operation
+     that can change what lives at a slot drops the memo. *)
+  mutable last : (int * entry) option;
 }
 
 let create ?(max_fds = 1024) () =
-  { slots = Array.make 64 None; max_fds }
+  { slots = Array.make 64 None; max_fds; last = None }
 
 let mk_desc ?(flags = 0) ?(path = "") kind =
   { d_kind = kind; d_pos = 0; d_flags = flags; d_refs = 1; d_path = path;
@@ -51,12 +56,19 @@ let release ?(sock_registry : Socket.registry option) d =
         | None -> ())
     | F_inode _ | F_gen _ | F_chardev _ -> ()
 
-let get (t : t) fd : desc option =
-  if fd < 0 || fd >= Array.length t.slots then None
-  else Option.map (fun e -> e.e_desc) t.slots.(fd)
-
 let get_entry (t : t) fd : entry option =
-  if fd < 0 || fd >= Array.length t.slots then None else t.slots.(fd)
+  match t.last with
+  | Some (lfd, e) when lfd = fd -> Some e
+  | _ ->
+      if fd < 0 || fd >= Array.length t.slots then None
+      else begin
+        let r = t.slots.(fd) in
+        (match r with Some e -> t.last <- Some (fd, e) | None -> ());
+        r
+      end
+
+let get (t : t) fd : desc option =
+  match get_entry t fd with Some e -> Some e.e_desc | None -> None
 
 let ensure_capacity t n =
   if n >= Array.length t.slots then begin
@@ -73,7 +85,9 @@ let install ?(from = 0) ?(cloexec = false) (t : t) d : (int, Errno.t) result =
       ensure_capacity t i;
       match t.slots.(i) with
       | None ->
-          t.slots.(i) <- Some { e_desc = d; e_cloexec = cloexec };
+          let e = { e_desc = d; e_cloexec = cloexec } in
+          t.slots.(i) <- Some e;
+          t.last <- Some (i, e);
           Ok i
       | Some _ -> find (i + 1)
     end
@@ -89,6 +103,7 @@ let install_at ?(cloexec = false) ?sock_registry (t : t) fd d :
     (match t.slots.(fd) with
     | Some e -> release ?sock_registry e.e_desc
     | None -> ());
+    t.last <- None;
     t.slots.(fd) <- Some { e_desc = d; e_cloexec = cloexec };
     Ok fd
   end
@@ -97,11 +112,13 @@ let close ?sock_registry (t : t) fd : (unit, Errno.t) result =
   match get_entry t fd with
   | None -> Error Errno.EBADF
   | Some e ->
+      t.last <- None;
       t.slots.(fd) <- None;
       release ?sock_registry e.e_desc;
       Ok ()
 
 let close_all ?sock_registry (t : t) =
+  t.last <- None;
   Array.iteri
     (fun i e ->
       match e with
@@ -112,6 +129,7 @@ let close_all ?sock_registry (t : t) =
     t.slots
 
 let close_cloexec ?sock_registry (t : t) =
+  t.last <- None;
   Array.iteri
     (fun i e ->
       match e with
@@ -130,7 +148,7 @@ let clone (t : t) : t =
            { e_desc = e.e_desc; e_cloexec = e.e_cloexec }))
       t.slots
   in
-  { slots; max_fds = t.max_fds }
+  { slots; max_fds = t.max_fds; last = None }
 
 let count (t : t) =
   Array.fold_left (fun n e -> if e = None then n else n + 1) 0 t.slots

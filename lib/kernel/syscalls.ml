@@ -356,7 +356,7 @@ let unlinkat ctx ~dirfd ~path ~rmdir_flag : unit Errno.result =
   vfs_op ctx (if rmdir_flag then "rmdir" else "unlink");
   let* base = dir_base ctx dirfd path in
   let* parent, name = Vfs.resolve_parent ctx.k.Task.fs ~cwd:base path in
-  if rmdir_flag then Vfs.rmdir parent name else Vfs.unlink parent name
+  if rmdir_flag then Vfs.rmdir ctx.k.Task.fs parent name else Vfs.unlink ctx.k.Task.fs parent name
 
 let linkat ctx ~olddirfd ~oldpath ~newdirfd ~newpath : unit Errno.result =
   count ctx;
@@ -365,7 +365,7 @@ let linkat ctx ~olddirfd ~oldpath ~newdirfd ~newpath : unit Errno.result =
   let* target = Vfs.resolve ctx.k.Task.fs ~cwd:obase oldpath in
   let* nbase = dir_base ctx newdirfd newpath in
   let* parent, name = Vfs.resolve_parent ctx.k.Task.fs ~cwd:nbase newpath in
-  Vfs.link parent name target
+  Vfs.link ctx.k.Task.fs parent name target
 
 let symlinkat ctx ~target ~dirfd ~path : unit Errno.result =
   count ctx;
@@ -391,7 +391,7 @@ let renameat ctx ~olddirfd ~oldpath ~newdirfd ~newpath : unit Errno.result =
   let* sdir, sname = Vfs.resolve_parent ctx.k.Task.fs ~cwd:obase oldpath in
   let* nbase = dir_base ctx newdirfd newpath in
   let* ddir, dname = Vfs.resolve_parent ctx.k.Task.fs ~cwd:nbase newpath in
-  Vfs.rename sdir sname ddir dname
+  Vfs.rename ctx.k.Task.fs sdir sname ddir dname
 
 let chdir ctx ~path : unit Errno.result =
   count ctx;

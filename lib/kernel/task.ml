@@ -118,7 +118,8 @@ let urandom_chardev () : Vfs.chardev =
   }
 
 let boot () : kernel =
-  let fs = Vfs.create () in
+  let stats = Observe.Metrics.kstats_create () in
+  let fs = Vfs.create ~stats () in
   let k =
     {
       fs;
@@ -130,7 +131,7 @@ let boot () : kernel =
       fg_pgid = 1;
       epoch_ns = 1_700_000_000_000_000_000L;
       syscall_count = 0L;
-      stats = Observe.Metrics.kstats_create ();
+      stats;
     }
   in
   let dev = Vfs.mkdir_p fs "/dev" in

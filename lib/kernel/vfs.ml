@@ -42,7 +42,22 @@ and chardev = {
 type t = {
   mutable next_ino : int;
   root : inode;
+  (* Path-resolution cache ("dentry cache"): whole-path positive lookups
+     keyed by (starting ino, path, follow) and stamped with the namespace
+     generation current at fill time.  Every namespace mutation bumps
+     [gen], so a stamp mismatch invalidates the whole cache at once
+     without any per-entry bookkeeping.  Only successful resolutions are
+     cached — error results (notably ENOENT, which O_CREAT depends on)
+     are always re-derived from the tree. *)
+  mutable gen : int;
+  dcache : (int * string * bool, int * inode) Hashtbl.t;
+  stats : Observe.Metrics.kstats option;
 }
+
+let dcache_max = 1024
+
+(** Invalidate every cached path resolution (namespace changed). *)
+let bump fs = fs.gen <- fs.gen + 1
 
 let is_dir i = match i.kind with Dir _ -> true | _ -> false
 
@@ -95,7 +110,7 @@ let mk_inode fs ~mode kind =
     kind;
   }
 
-let create () =
+let create ?stats () =
   let root_dir = { entries = Hashtbl.create 16; parent = None } in
   let root =
     {
@@ -110,7 +125,7 @@ let create () =
       kind = Dir root_dir;
     }
   in
-  { next_ino = 2; root }
+  { next_ino = 2; root; gen = 0; dcache = Hashtbl.create 256; stats }
 
 (* ------------------------------------------------------------------ *)
 (* Path resolution                                                      *)
@@ -157,7 +172,29 @@ let rec resolve_at fs ~(cwd : inode) ~follow ~depth (path : string) :
   end
 
 let resolve fs ~cwd ?(follow = true) path =
-  resolve_at fs ~cwd ~follow ~depth:0 path
+  let key = (cwd.ino, path, follow) in
+  match Hashtbl.find_opt fs.dcache key with
+  | Some (stamp, node) when stamp = fs.gen ->
+      (match fs.stats with
+      | Some ks ->
+          ks.Observe.Metrics.dcache_hits <-
+            Int64.add ks.Observe.Metrics.dcache_hits 1L
+      | None -> ());
+      Ok node
+  | _ ->
+      (match fs.stats with
+      | Some ks ->
+          ks.Observe.Metrics.dcache_misses <-
+            Int64.add ks.Observe.Metrics.dcache_misses 1L
+      | None -> ());
+      let r = resolve_at fs ~cwd ~follow ~depth:0 path in
+      (match r with
+      | Ok node ->
+          if Hashtbl.length fs.dcache >= dcache_max then
+            Hashtbl.reset fs.dcache;
+          Hashtbl.replace fs.dcache key (fs.gen, node)
+      | Error _ -> ());
+      r
 
 (** Resolve to the parent directory and final component (for create /
     unlink / rename). *)
@@ -191,7 +228,8 @@ let lookup (dir : inode) name : inode option =
 (* Mutations                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let add_entry (dirnode : inode) name (child : inode) : (unit, Errno.t) result =
+let add_entry fs (dirnode : inode) name (child : inode) :
+    (unit, Errno.t) result =
   match dirnode.kind with
   | Dir d ->
       if Hashtbl.mem d.entries name then Error Errno.EEXIST
@@ -203,23 +241,24 @@ let add_entry (dirnode : inode) name (child : inode) : (unit, Errno.t) result =
             dirnode.nlink <- dirnode.nlink + 1
         | _ -> ());
         dirnode.mtime <- Fiber.now ();
+        bump fs;
         Ok ()
       end
   | _ -> Error Errno.ENOTDIR
 
 let create_file fs (dirnode : inode) name ~mode : (inode, Errno.t) result =
   let i = mk_inode fs ~mode:(mode land 0o7777) (Reg (Bytebuf.create ())) in
-  match add_entry dirnode name i with Ok () -> Ok i | Error _ as e -> e
+  match add_entry fs dirnode name i with Ok () -> Ok i | Error _ as e -> e
 
 let mkdir fs (dirnode : inode) name ~mode : (inode, Errno.t) result =
   let d = { entries = Hashtbl.create 8; parent = Some dirnode } in
   let i = mk_inode fs ~mode:(mode land 0o7777) (Dir d) in
   i.nlink <- 2;
-  match add_entry dirnode name i with Ok () -> Ok i | Error _ as e -> e
+  match add_entry fs dirnode name i with Ok () -> Ok i | Error _ as e -> e
 
 let symlink fs (dirnode : inode) name ~target : (inode, Errno.t) result =
   let i = mk_inode fs ~mode:0o777 (Symlink target) in
-  match add_entry dirnode name i with Ok () -> Ok i | Error _ as e -> e
+  match add_entry fs dirnode name i with Ok () -> Ok i | Error _ as e -> e
 
 let mkfifo fs (dirnode : inode) name ~mode : (inode, Errno.t) result =
   let p = Pipe.create () in
@@ -227,17 +266,17 @@ let mkfifo fs (dirnode : inode) name ~mode : (inode, Errno.t) result =
   p.Pipe.readers <- 0;
   p.Pipe.writers <- 0;
   let i = mk_inode fs ~mode:(mode land 0o7777) (Fifo p) in
-  match add_entry dirnode name i with Ok () -> Ok i | Error _ as e -> e
+  match add_entry fs dirnode name i with Ok () -> Ok i | Error _ as e -> e
 
 let add_chardev fs (dirnode : inode) name cd : (inode, Errno.t) result =
   let i = mk_inode fs ~mode:0o666 (Chardev cd) in
-  match add_entry dirnode name i with Ok () -> Ok i | Error _ as e -> e
+  match add_entry fs dirnode name i with Ok () -> Ok i | Error _ as e -> e
 
 let add_gen fs (dirnode : inode) name gen : (inode, Errno.t) result =
   let i = mk_inode fs ~mode:0o444 (Gen gen) in
-  match add_entry dirnode name i with Ok () -> Ok i | Error _ as e -> e
+  match add_entry fs dirnode name i with Ok () -> Ok i | Error _ as e -> e
 
-let unlink (dirnode : inode) name : (unit, Errno.t) result =
+let unlink fs (dirnode : inode) name : (unit, Errno.t) result =
   match dirnode.kind with
   | Dir d -> (
       match Hashtbl.find_opt d.entries name with
@@ -249,10 +288,11 @@ let unlink (dirnode : inode) name : (unit, Errno.t) result =
               Hashtbl.remove d.entries name;
               child.nlink <- child.nlink - 1;
               child.ctime <- Fiber.now ();
+              bump fs;
               Ok ()))
   | _ -> Error Errno.ENOTDIR
 
-let rmdir (dirnode : inode) name : (unit, Errno.t) result =
+let rmdir fs (dirnode : inode) name : (unit, Errno.t) result =
   match dirnode.kind with
   | Dir d -> (
       match Hashtbl.find_opt d.entries name with
@@ -264,22 +304,23 @@ let rmdir (dirnode : inode) name : (unit, Errno.t) result =
               else begin
                 Hashtbl.remove d.entries name;
                 dirnode.nlink <- dirnode.nlink - 1;
+                bump fs;
                 Ok ()
               end
           | _ -> Error Errno.ENOTDIR))
   | _ -> Error Errno.ENOTDIR
 
-let link (dirnode : inode) name (target : inode) : (unit, Errno.t) result =
+let link fs (dirnode : inode) name (target : inode) : (unit, Errno.t) result =
   match target.kind with
   | Dir _ -> Error Errno.EPERM
   | _ -> (
-      match add_entry dirnode name target with
+      match add_entry fs dirnode name target with
       | Ok () ->
           target.nlink <- target.nlink + 1;
           Ok ()
       | Error _ as e -> e)
 
-let rename (srcdir : inode) sname (dstdir : inode) dname :
+let rename fs (srcdir : inode) sname (dstdir : inode) dname :
     (unit, Errno.t) result =
   match (srcdir.kind, dstdir.kind) with
   | Dir sd, Dir dd -> (
@@ -297,6 +338,7 @@ let rename (srcdir : inode) sname (dstdir : inode) dname :
               (match child.kind with
               | Dir cd -> cd.parent <- Some dstdir
               | _ -> ());
+              bump fs;
               Ok ()
           | None ->
               Hashtbl.remove sd.entries sname;
@@ -304,6 +346,7 @@ let rename (srcdir : inode) sname (dstdir : inode) dname :
               (match child.kind with
               | Dir cd -> cd.parent <- Some dstdir
               | _ -> ());
+              bump fs;
               Ok ()))
   | _ -> Error Errno.ENOTDIR
 

@@ -91,6 +91,8 @@ type kstats = {
   mutable sig_delivered : int;
   mutable pipe_bytes : int64; (* bytes moved through pipes/FIFOs *)
   mutable sock_bytes : int64; (* bytes moved through sockets *)
+  mutable dcache_hits : int64; (* path resolutions served from the dentry cache *)
+  mutable dcache_misses : int64; (* resolutions that walked the tree *)
 }
 
 let kstats_create () =
@@ -103,6 +105,8 @@ let kstats_create () =
     sig_delivered = 0;
     pipe_bytes = 0L;
     sock_bytes = 0L;
+    dcache_hits = 0L;
+    dcache_misses = 0L;
   }
 
 let vfs_op ks op =

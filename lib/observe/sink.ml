@@ -36,8 +36,13 @@ type t = {
   tb : Tracebuf.t;
   pf : Profile.t;
   prof : (int, prof_state) Hashtbl.t; (* pid -> step counter at last sample *)
-  instr_base : (int, int64) Hashtbl.t; (* pid -> steps at machine birth *)
+  instr_base : (int, int64 * int64) Hashtbl.t;
+      (* pid -> (steps, fused dispatches) at machine birth *)
   mutable instructions : int64; (* retired across all exited machines *)
+  mutable fused : int64; (* superinstruction dispatches, same lifecycle *)
+  mutable fuse_before : int; (* flat ops of all built images, pre-fusion *)
+  mutable fuse_after : int;
+  mutable fuse_sites : int; (* static superinstruction sites *)
   mutable polls : int64;
   mutable traps : int;
   mutable ctx_switches : int;
@@ -62,6 +67,10 @@ let create ?metrics cfg =
     prof = Hashtbl.create 8;
     instr_base = Hashtbl.create 8;
     instructions = 0L;
+    fused = 0L;
+    fuse_before = 0;
+    fuse_after = 0;
+    fuse_sites = 0;
     polls = 0L;
     traps = 0;
     ctx_switches = 0;
@@ -122,15 +131,30 @@ let prof_reset o ~pid = Hashtbl.remove o.prof pid
 
 (* ---- instructions retired ---- *)
 
-let instr_baseline o ~pid ~steps = Hashtbl.replace o.instr_base pid steps
+let instr_baseline o ~pid ~steps ~fused =
+  Hashtbl.replace o.instr_base pid (steps, fused)
 
-let instr_retire o ~pid ~steps =
-  let base =
-    match Hashtbl.find_opt o.instr_base pid with Some b -> b | None -> 0L
+let instr_retire o ~pid ~steps ~fused =
+  let sb, fb =
+    match Hashtbl.find_opt o.instr_base pid with
+    | Some b -> b
+    | None -> (0L, 0L)
   in
-  let d = Int64.sub steps base in
+  let d = Int64.sub steps sb in
   if Int64.compare d 0L > 0 then o.instructions <- Int64.add o.instructions d;
+  let df = Int64.sub fused fb in
+  if Int64.compare df 0L > 0 then o.fused <- Int64.add o.fused df;
   Hashtbl.remove o.instr_base pid
+
+(* ---- macro-op fusion coverage ---- *)
+
+(** Record the static fusion stats of a freshly built process image
+    (initial load and each execve); images accumulate over the run. *)
+let note_fusion o ~ops_before ~ops_after ~(sites : (string * int) list) =
+  o.fuse_before <- o.fuse_before + ops_before;
+  o.fuse_after <- o.fuse_after + ops_after;
+  o.fuse_sites <-
+    o.fuse_sites + List.fold_left (fun a (_, n) -> a + n) 0 sites
 
 (* ---- processes ---- *)
 
@@ -240,6 +264,10 @@ type run_counters = {
   rc_wall_ns : int64;
   rc_idle_ns : int64;
   rc_instructions : int64;
+  rc_fused : int64; (* superinstruction dispatches retired *)
+  rc_fusion_sites : int; (* static superinstruction sites in built images *)
+  rc_fusion_ops_before : int;
+  rc_fusion_ops_after : int;
   rc_safepoint_polls : int64;
   rc_traps : int;
   rc_ctx_switches : int;
@@ -252,6 +280,10 @@ let run_counters o =
     rc_wall_ns = o.wall_ns;
     rc_idle_ns = o.idle_ns;
     rc_instructions = o.instructions;
+    rc_fused = o.fused;
+    rc_fusion_sites = o.fuse_sites;
+    rc_fusion_ops_before = o.fuse_before;
+    rc_fusion_ops_after = o.fuse_after;
     rc_safepoint_polls = o.polls;
     rc_traps = o.traps;
     rc_ctx_switches = o.ctx_switches;
@@ -268,8 +300,9 @@ let metrics_json o : string =
   let b = Buffer.create 4096 in
   Printf.bprintf b "{\"schema\":\"wali-metrics\",\"version\":%d," schema_version;
   Printf.bprintf b
-    "\"run\":{\"wall_ns\":%Ld,\"idle_ns\":%Ld,\"instructions\":%Ld,\"safepoint_polls\":%Ld,\"traps\":%d,\"processes\":%d,\"profile_ns\":%Ld},"
-    o.wall_ns o.idle_ns o.instructions o.polls o.traps o.procs
+    "\"run\":{\"wall_ns\":%Ld,\"idle_ns\":%Ld,\"instructions\":%Ld,\"fused_dispatches\":%Ld,\"fusion_sites\":%d,\"fusion_ops_before\":%d,\"fusion_ops_after\":%d,\"safepoint_polls\":%Ld,\"traps\":%d,\"processes\":%d,\"profile_ns\":%Ld},"
+    o.wall_ns o.idle_ns o.instructions o.fused o.fuse_sites o.fuse_before
+    o.fuse_after o.polls o.traps o.procs
     (Profile.total o.pf);
   Buffer.add_string b "\"syscalls\":{";
   List.iteri
@@ -298,10 +331,11 @@ let metrics_json o : string =
       Printf.bprintf b "%s:%d" (Json.quote op) n)
     (Metrics.vfs_by_name ks);
   Printf.bprintf b
-    "},\"fd_high_water\":%d,\"futex_waits\":%d,\"futex_wakes\":%d,\"signals_queued\":%d,\"signals_delivered\":%d,\"pipe_bytes\":%Ld,\"socket_bytes\":%Ld,\"context_switches\":%d}}"
+    "},\"fd_high_water\":%d,\"futex_waits\":%d,\"futex_wakes\":%d,\"signals_queued\":%d,\"signals_delivered\":%d,\"pipe_bytes\":%Ld,\"socket_bytes\":%Ld,\"dcache_hits\":%Ld,\"dcache_misses\":%Ld,\"context_switches\":%d}}"
     ks.Metrics.fd_high_water ks.Metrics.futex_waits ks.Metrics.futex_wakes
     ks.Metrics.sig_queued ks.Metrics.sig_delivered ks.Metrics.pipe_bytes
-    ks.Metrics.sock_bytes o.ctx_switches;
+    ks.Metrics.sock_bytes ks.Metrics.dcache_hits ks.Metrics.dcache_misses
+    o.ctx_switches;
   Buffer.add_string b "\n";
   Buffer.contents b
 
@@ -319,6 +353,15 @@ let report o : string =
   Printf.bprintf b "  processes       %d\n" o.procs;
   Printf.bprintf b "  ctx switches    %d\n" o.ctx_switches;
   Printf.bprintf b "  instructions    %Ld\n" o.instructions;
+  (if o.fuse_sites > 0 || Int64.compare o.fused 0L > 0 then
+     let saved =
+       if Int64.compare o.instructions 0L > 0 then
+         100.0 *. Int64.to_float o.fused /. Int64.to_float o.instructions
+       else 0.0
+     in
+     Printf.bprintf b
+       "  fusion          %Ld dispatches (%.1f%% of instrs), %d sites, ops %d -> %d\n"
+       o.fused saved o.fuse_sites o.fuse_before o.fuse_after);
   Printf.bprintf b "  safepoint polls %Ld\n" o.polls;
   Printf.bprintf b "  traps           %d\n" o.traps;
   if o.cfg.c_profile then
@@ -354,4 +397,6 @@ let report o : string =
     ks.Metrics.sig_delivered;
   Printf.bprintf b "  pipe bytes      %Ld\n" ks.Metrics.pipe_bytes;
   Printf.bprintf b "  socket bytes    %Ld\n" ks.Metrics.sock_bytes;
+  Printf.bprintf b "  dcache hit/miss %Ld/%Ld\n" ks.Metrics.dcache_hits
+    ks.Metrics.dcache_misses;
   Buffer.contents b

@@ -25,19 +25,48 @@ type app_result = {
 
 let scenario_name app = "app/" ^ app
 
-let run_app (a : Apps.Suite.app) : app_result =
+let run_app ?(fuse = true) ?(walls = false) (a : Apps.Suite.app) : app_result =
   let sink = Observe.Sink.create gate_cfg in
-  let status, _out = Apps.Suite.run ~observe:sink a in
+  let status, _out = Apps.Suite.run ~fuse ~observe:sink a in
   let rc = Observe.Sink.run_counters sink in
   let reg = Observe.Sink.metrics sink in
+  let ks = Observe.Sink.kstats_or_zero sink in
   let ci = Model.counter_i in
   let c v = Model.counter (float_of_int v) in
+  (* Host wall-clock is the one non-deterministic metric and is opt-in:
+     the gate and the committed baselines never see it (Wall rows would
+     be hardware-dependent), but `waliperf run --walls` measures it so
+     fused and unfused runs can be compared on real time. *)
+  let wall_metrics =
+    if not walls then []
+    else
+      let sample () =
+        (* decorrelate minor-heap state between samples; at sub-ms run
+           lengths a collection landing inside one sample otherwise
+           dominates the measurement *)
+        Gc.minor ();
+        let t0 = Unix.gettimeofday () in
+        ignore (Apps.Suite.run ~fuse a);
+        (Unix.gettimeofday () -. t0) *. 1e9
+      in
+      (* Short runs (boot-dominated, sub-ms) are noisy at n=5: take more
+         samples so the min-of-N actually reaches the uncontended floor.
+         The pilot sample doubles as warmup. *)
+      let pilot = sample () in
+      let n = if pilot < 1e6 then 25 else if pilot < 10e6 then 9 else 5 in
+      let s = Stats.measure ~warmup:1 ~n sample in
+      [ ("host_wall_ns", Model.wall s) ]
+  in
   {
     ar_name = a.Apps.Suite.a_name;
     ar_status = status;
     ar_metrics =
       [
         ("instructions", ci rc.Observe.Sink.rc_instructions);
+        ("fused_dispatches", ci rc.Observe.Sink.rc_fused);
+        ("fusion_sites", c rc.Observe.Sink.rc_fusion_sites);
+        ("fusion_ops_before", c rc.Observe.Sink.rc_fusion_ops_before);
+        ("fusion_ops_after", c rc.Observe.Sink.rc_fusion_ops_after);
         ("syscalls", c (Observe.Metrics.total_calls reg));
         ("unique_syscalls", c (Observe.Metrics.unique reg));
         ("syscall_errors", c (Observe.Metrics.total_errors reg));
@@ -47,8 +76,11 @@ let run_app (a : Apps.Suite.app) : app_result =
         ("ctx_switches", c rc.Observe.Sink.rc_ctx_switches);
         ("processes", c rc.Observe.Sink.rc_processes);
         ("safepoint_polls", ci rc.Observe.Sink.rc_safepoint_polls);
+        ("dcache_hits", ci ks.Observe.Metrics.dcache_hits);
+        ("dcache_misses", ci ks.Observe.Metrics.dcache_misses);
         ("exit_status", c (status lsr 8));
-      ];
+      ]
+      @ wall_metrics;
     ar_folded = Observe.Sink.profile_folded sink;
     ar_reg = reg;
   }
@@ -79,6 +111,9 @@ let suite_scenario (results : app_result list) :
     [
       ("apps", Model.counter (float_of_int (List.length results)));
       ("instructions", Model.counter (sum "instructions"));
+      ("fused_dispatches", Model.counter (sum "fused_dispatches"));
+      ("dcache_hits", Model.counter (sum "dcache_hits"));
+      ("dcache_misses", Model.counter (sum "dcache_misses"));
       ("syscalls", Model.counter (sum "syscalls"));
       ("virtual_ns", Model.counter ~unit_:"ns" (sum "virtual_ns"));
       ( "latency_p50_ns",
@@ -93,8 +128,9 @@ let suite_scenario (results : app_result list) :
 
 (** Run the suite's deterministic scenarios: the [wali-bench v1] run plus
     the per-app folded profiles (for the differential profiler). *)
-let run_suite ?(apps = Apps.Suite.all) () : Model.t * (string * string) list =
-  let results = List.map run_app apps in
+let run_suite ?(apps = Apps.Suite.all) ?fuse ?walls () :
+    Model.t * (string * string) list =
+  let results = List.map (run_app ?fuse ?walls) apps in
   let scenarios =
     suite_scenario results
     :: List.map (fun r -> (scenario_name r.ar_name, r.ar_metrics)) results

@@ -361,8 +361,8 @@ let interposer (st : state) : Engine.interposer =
     out of the VFS). The digest check refuses a binary other than the
     recorded one unless [check_digest:false]. *)
 let replay ?(setup = fun (_ : Kernel.Task.kernel) -> ())
-    ?(check_digest = true) ?observe ~(trace : Trace.t) ~(binary : string) () :
-    outcome =
+    ?(check_digest = true) ?(fuse = true) ?observe ~(trace : Trace.t)
+    ~(binary : string) () : outcome =
   let total = Array.length trace.Trace.tr_events in
   let digest = Digest.string binary in
   if check_digest && digest <> trace.Trace.tr_header.Trace.h_digest then
@@ -398,7 +398,7 @@ let replay ?(setup = fun (_ : Kernel.Task.kernel) -> ())
       | Some s -> s
       | None -> Code.Poll_loops
     in
-    let eng = Engine.create ~poll_scheme ~trace:strace ?observe kernel in
+    let eng = Engine.create ~poll_scheme ~fuse ~trace:strace ?observe kernel in
     eng.Engine.interpose <- Some (interposer st);
     let status = ref 0 in
     (match observe with Some o -> Observe.Sink.attach o | None -> ());

@@ -59,6 +59,56 @@ type op =
   | K_f64_relop of float_relop
   | K_cvt of cvt
   | K_poll
+  (* Superinstructions produced by the [fuse] pass: each stands for the
+     short op sequence named by its constructor and gets a dedicated
+     unboxed handler in {!Interp}. No pattern contains [K_poll], a call
+     or a branch *interior*, so safepoint delivery, the analyzer's call
+     graph and jump targets are all untouched by fusion. *)
+  | F_ll_i32_binop of int * int * int_binop
+      (* local_get a; local_get b; i32.binop *)
+  | F_ll_i32_binop_set of int * int * int_binop * int
+      (* local_get a; local_get b; i32.binop; local_set d *)
+  | F_lc_i32_binop of int * Int32.t * int_binop
+      (* local_get a; i32.const c; i32.binop *)
+  | F_lc_i32_binop_set of int * Int32.t * int_binop * int
+      (* local_get a; i32.const c; i32.binop; local_set d *)
+  | F_const_i32_binop of Int32.t * int_binop
+      (* i32.const c; i32.binop — tos := tos op c *)
+  | F_i32_binop_set of int_binop * int
+      (* i32.binop; local_set d — sink the result into a local *)
+  | F_local_load of int * load_kind * int
+      (* local_get a; load — address comes straight from the local *)
+  | F_i32_relop_br_if of int_relop * jump
+      (* i32.relop; br_if — fused compare-and-branch *)
+  | F_ll_i32_relop_br_if of int * int * int_relop * jump
+      (* local_get a; local_get b; i32.relop; br_if *)
+  | F_lc_i32_relop_br_if of int * Int32.t * int_relop * jump
+      (* local_get a; i32.const c; i32.relop; br_if *)
+  | F_lc_store of int * Values.value * store_kind * int
+      (* local_get a; const v; store — mem[local a + off] := v *)
+  | F_i32_eqz_br_if of jump
+      (* i32.eqz; br_if — branch-if-zero *)
+  | F_i32_relop_eqz_br_if of int_relop * jump
+      (* i32.relop; i32.eqz; br_if — branch on the *negated* compare;
+         minicc lowers `if (a < b)` fall-through edges this way *)
+  | F_ll_i32_relop_eqz_br_if of int * int * int_relop * jump
+      (* local_get a; local_get b; i32.relop; i32.eqz; br_if *)
+  | F_lc_i32_relop_eqz_br_if of int * Int32.t * int_relop * jump
+      (* local_get a; i32.const c; i32.relop; i32.eqz; br_if *)
+  | F_l_i32_binop of int * int_binop
+      (* local_get b; i32.binop — tos := tos op local b *)
+  | F_i32_binop_load of int_binop * load_kind * int
+      (* i32.binop; load — address computed by the binop *)
+  | F_i32_binop_binop of int_binop * int_binop
+      (* i32.binop; i32.binop — chained arithmetic *)
+  | F_i32_binop_store of int_binop * store_kind * int
+      (* i32.binop; store — store the freshly computed value *)
+  | F_l_store of int * store_kind * int
+      (* local_get v; store — mem[pop + off] := local v *)
+  | F_set_get of int
+      (* local_set i; local_get i — a tee spelled as two ops *)
+  | F_i32_eqz_eqz
+      (* i32.eqz; i32.eqz — normalize to 0/1 *)
 
 and load_kind =
   | L_i32 | L_i64 | L_f32 | L_f64
@@ -97,6 +147,8 @@ type poll_scheme = Poll_none | Poll_loops | Poll_funcs | Poll_every
 type fcode = {
   fc_name : string;
   fc_type : func_type;
+  fc_arity : int; (* List.length fc_type.results, precomputed for returns *)
+  fc_nparams : int; (* List.length fc_type.params, precomputed for calls *)
   fc_locals : val_type array; (* params followed by extra locals *)
   fc_ops : op array;
 }
@@ -602,8 +654,221 @@ let compile_func env ~poll (f : func) : fcode =
   ctrls := [];
   List.iter (fun j -> j.target <- !len) c.cf_patches;
   emit K_return;
-  { fc_name = f.f_name; fc_type = ftype; fc_locals = locals;
-    fc_ops = Array.sub !buf 0 !len }
+  { fc_name = f.f_name; fc_type = ftype;
+    fc_arity = List.length ftype.results;
+    fc_nparams = List.length ftype.params;
+    fc_locals = locals; fc_ops = Array.sub !buf 0 !len }
+
+(* ------------------------------------------------------------------ *)
+(* Macro-op fusion                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Coverage-stats name of a superinstruction ([None] for plain ops). *)
+let superop_name = function
+  | F_ll_i32_binop _ -> Some "ll_i32_binop"
+  | F_ll_i32_binop_set _ -> Some "ll_i32_binop_set"
+  | F_lc_i32_binop _ -> Some "lc_i32_binop"
+  | F_lc_i32_binop_set _ -> Some "lc_i32_binop_set"
+  | F_const_i32_binop _ -> Some "const_i32_binop"
+  | F_i32_binop_set _ -> Some "i32_binop_set"
+  | F_local_load _ -> Some "local_load"
+  | F_i32_relop_br_if _ -> Some "i32_relop_br_if"
+  | F_ll_i32_relop_br_if _ -> Some "ll_i32_relop_br_if"
+  | F_lc_i32_relop_br_if _ -> Some "lc_i32_relop_br_if"
+  | F_lc_store _ -> Some "lc_store"
+  | F_i32_eqz_br_if _ -> Some "i32_eqz_br_if"
+  | F_i32_relop_eqz_br_if _ -> Some "i32_relop_eqz_br_if"
+  | F_ll_i32_relop_eqz_br_if _ -> Some "ll_i32_relop_eqz_br_if"
+  | F_lc_i32_relop_eqz_br_if _ -> Some "lc_i32_relop_eqz_br_if"
+  | F_l_i32_binop _ -> Some "l_i32_binop"
+  | F_i32_binop_load _ -> Some "i32_binop_load"
+  | F_i32_binop_binop _ -> Some "i32_binop_binop"
+  | F_i32_binop_store _ -> Some "i32_binop_store"
+  | F_l_store _ -> Some "l_store"
+  | F_set_get _ -> Some "set_get"
+  | F_i32_eqz_eqz -> Some "i32_eqz_eqz"
+  | _ -> None
+
+(** How many original ops an op stands for (1 for plain ops). The
+    interpreter charges this to [machine.steps], so instruction counts,
+    profile weights and replay coordinates are byte-identical between the
+    fused and unfused engines. *)
+let op_width = function
+  | F_ll_i32_relop_eqz_br_if _ | F_lc_i32_relop_eqz_br_if _ -> 5
+  | F_ll_i32_binop_set _ | F_lc_i32_binop_set _
+  | F_ll_i32_relop_br_if _ | F_lc_i32_relop_br_if _ -> 4
+  | F_ll_i32_binop _ | F_lc_i32_binop _ | F_lc_store _
+  | F_i32_relop_eqz_br_if _ -> 3
+  | F_const_i32_binop _ | F_i32_binop_set _ | F_local_load _
+  | F_i32_relop_br_if _ | F_i32_eqz_br_if _ | F_l_i32_binop _
+  | F_i32_binop_load _ | F_i32_binop_binop _ | F_i32_binop_store _
+  | F_l_store _ | F_set_get _ | F_i32_eqz_eqz -> 2
+  | _ -> 1
+
+type fuse_stats = {
+  fs_ops_before : int; (* flat ops over all functions, pre-fusion *)
+  fs_ops_after : int;
+  fs_sites : (string * int) list; (* superop name -> static sites, sorted *)
+}
+
+let empty_fuse_stats = { fs_ops_before = 0; fs_ops_after = 0; fs_sites = [] }
+
+(** Rewrite [fc]'s ops, greedily replacing the hot idioms with
+    superinstructions (longest match first). A window is fusable only if
+    no *interior* pc is a branch target — the window head may be one —
+    and every jump target is then remapped through the old-pc -> new-pc
+    map (each [jump] record is referenced by exactly one op, so in-place
+    remapping visits each record once). Loop-header [K_poll] safepoints
+    never match a pattern, so fusion cannot move or elide a poll. *)
+(* A window only fuses when every trap-capable op is the window's *last*
+   op: the handler charges the full width to [steps] before executing, so
+   a trap from an interior op would report a different instruction count
+   than the unfused engine. Integer div/rem are the only trapping binops. *)
+let nontrap_binop = function
+  | Ast.Div_s | Ast.Div_u | Ast.Rem_s | Ast.Rem_u -> false
+  | _ -> true
+
+let fuse_func (sites : (string, int) Hashtbl.t) (fc : fcode) : fcode =
+  let ops = fc.fc_ops in
+  let n = Array.length ops in
+  let is_target = Array.make (n + 1) false in
+  let mark (j : jump) =
+    if j.target >= 0 && j.target <= n then is_target.(j.target) <- true
+  in
+  Array.iter
+    (function
+      | K_br j | K_br_if j -> mark j
+      | K_br_table (js, dj) ->
+          Array.iter mark js;
+          mark dj
+      | _ -> ())
+    ops;
+  let out = Array.make (max n 1) K_return in
+  let olen = ref 0 in
+  let new_pc = Array.make (n + 1) 0 in
+  let fusable i w =
+    i + w <= n
+    &&
+    let ok = ref true in
+    for k = i + 1 to i + w - 1 do
+      if is_target.(k) then ok := false
+    done;
+    !ok
+  in
+  let try5 i =
+    if not (fusable i 5) then None
+    else
+      match (ops.(i), ops.(i + 1), ops.(i + 2), ops.(i + 3), ops.(i + 4)) with
+      | K_local_get a, K_local_get b, K_i32_relop o, K_i32_eqz, K_br_if j ->
+          Some (F_ll_i32_relop_eqz_br_if (a, b, o, j))
+      | ( K_local_get a, K_const (Values.I32 c), K_i32_relop o, K_i32_eqz,
+          K_br_if j ) ->
+          Some (F_lc_i32_relop_eqz_br_if (a, c, o, j))
+      | _ -> None
+  in
+  let try4 i =
+    if not (fusable i 4) then None
+    else
+      match (ops.(i), ops.(i + 1), ops.(i + 2), ops.(i + 3)) with
+      | K_local_get a, K_local_get b, K_i32_binop o, K_local_set d
+        when nontrap_binop o ->
+          Some (F_ll_i32_binop_set (a, b, o, d))
+      | K_local_get a, K_const (Values.I32 c), K_i32_binop o, K_local_set d
+        when nontrap_binop o ->
+          Some (F_lc_i32_binop_set (a, c, o, d))
+      | K_local_get a, K_local_get b, K_i32_relop o, K_br_if j ->
+          Some (F_ll_i32_relop_br_if (a, b, o, j))
+      | K_local_get a, K_const (Values.I32 c), K_i32_relop o, K_br_if j ->
+          Some (F_lc_i32_relop_br_if (a, c, o, j))
+      | _ -> None
+  in
+  let try3 i =
+    if not (fusable i 3) then None
+    else
+      match (ops.(i), ops.(i + 1), ops.(i + 2)) with
+      | K_local_get a, K_local_get b, K_i32_binop o ->
+          Some (F_ll_i32_binop (a, b, o))
+      | K_local_get a, K_const (Values.I32 c), K_i32_binop o ->
+          Some (F_lc_i32_binop (a, c, o))
+      | K_local_get a, K_const v, K_store (k, off) ->
+          Some (F_lc_store (a, v, k, off))
+      | K_i32_relop o, K_i32_eqz, K_br_if j ->
+          Some (F_i32_relop_eqz_br_if (o, j))
+      | _ -> None
+  in
+  let try2 i =
+    if not (fusable i 2) then None
+    else
+      match (ops.(i), ops.(i + 1)) with
+      | K_local_get a, K_load (k, off) -> Some (F_local_load (a, k, off))
+      | K_local_get a, K_i32_binop o -> Some (F_l_i32_binop (a, o))
+      | K_local_get a, K_store (k, off) -> Some (F_l_store (a, k, off))
+      | K_const (Values.I32 c), K_i32_binop o -> Some (F_const_i32_binop (c, o))
+      | K_i32_binop o, K_local_set d when nontrap_binop o ->
+          Some (F_i32_binop_set (o, d))
+      | K_i32_binop o, K_load (k, off) when nontrap_binop o ->
+          Some (F_i32_binop_load (o, k, off))
+      | K_i32_binop o1, K_i32_binop o2 when nontrap_binop o1 ->
+          Some (F_i32_binop_binop (o1, o2))
+      | K_i32_binop o, K_store (k, off) when nontrap_binop o ->
+          Some (F_i32_binop_store (o, k, off))
+      | K_i32_relop o, K_br_if j -> Some (F_i32_relop_br_if (o, j))
+      | K_i32_eqz, K_br_if j -> Some (F_i32_eqz_br_if j)
+      | K_i32_eqz, K_i32_eqz -> Some F_i32_eqz_eqz
+      | K_local_set s, K_local_get g when s = g -> Some (F_set_get s)
+      | _ -> None
+  in
+  let i = ref 0 in
+  while !i < n do
+    let sop =
+      match try5 !i with
+      | Some s -> Some s
+      | None -> (
+          match try4 !i with
+          | Some s -> Some s
+          | None -> (
+              match try3 !i with Some s -> Some s | None -> try2 !i))
+    in
+    match sop with
+    | Some s ->
+        let w = op_width s in
+        for k = !i to !i + w - 1 do
+          new_pc.(k) <- !olen
+        done;
+        out.(!olen) <- s;
+        incr olen;
+        (match superop_name s with
+        | Some name ->
+            Hashtbl.replace sites name
+              (1 + Option.value ~default:0 (Hashtbl.find_opt sites name))
+        | None -> ());
+        i := !i + w
+    | None ->
+        new_pc.(!i) <- !olen;
+        out.(!olen) <- ops.(!i);
+        incr olen;
+        incr i
+  done;
+  new_pc.(n) <- !olen;
+  let fused = Array.sub out 0 !olen in
+  let remap (j : jump) = j.target <- new_pc.(j.target) in
+  Array.iter
+    (function
+      | K_br j | K_br_if j -> remap j
+      | K_br_table (js, dj) ->
+          Array.iter remap js;
+          remap dj
+      | F_i32_relop_br_if (_, j)
+      | F_ll_i32_relop_br_if (_, _, _, j)
+      | F_lc_i32_relop_br_if (_, _, _, j)
+      | F_i32_eqz_br_if j
+      | F_i32_relop_eqz_br_if (_, j)
+      | F_ll_i32_relop_eqz_br_if (_, _, _, j)
+      | F_lc_i32_relop_eqz_br_if (_, _, _, j) ->
+          remap j
+      | _ -> ())
+    fused;
+  { fc with fc_ops = fused }
 
 (* ------------------------------------------------------------------ *)
 (* Static call info (for the reachability analyzer)                     *)
@@ -676,10 +941,14 @@ type compiled = {
   cm_module : module_;
   cm_env : env;
   cm_funcs : fcode array; (* local functions only, in definition order *)
+  cm_fuse : fuse_stats; (* macro-op fusion coverage of this image *)
 }
 
-(** Validate and compile every local function of [m]. *)
-let compile_module ?(poll = Poll_none) (m : module_) : compiled =
+(** Validate and compile every local function of [m]. [fuse] (default on)
+    runs the macro-op fusion pass over the validated flat code; the
+    unfused engine is kept selectable for A/B runs and the differential
+    replay gate. *)
+let compile_module ?(poll = Poll_none) ?(fuse = true) (m : module_) : compiled =
   let env = build_env m in
   (* Validate exports refer to existing indices. *)
   List.iter
@@ -694,4 +963,16 @@ let compile_module ?(poll = Poll_none) (m : module_) : compiled =
       | Ed_table i -> check i env.e_num_tables "table")
     m.exports;
   let funcs = Array.map (compile_func env ~poll) m.funcs in
-  { cm_module = m; cm_env = env; cm_funcs = funcs }
+  let before = Array.fold_left (fun a fc -> a + Array.length fc.fc_ops) 0 funcs in
+  let sites = Hashtbl.create 16 in
+  let funcs = if fuse then Array.map (fuse_func sites) funcs else funcs in
+  let after = Array.fold_left (fun a fc -> a + Array.length fc.fc_ops) 0 funcs in
+  let fs =
+    {
+      fs_ops_before = before;
+      fs_ops_after = after;
+      fs_sites =
+        List.sort compare (Hashtbl.fold (fun k v l -> (k, v) :: l) sites []);
+    }
+  in
+  { cm_module = m; cm_env = env; cm_funcs = funcs; cm_fuse = fs }

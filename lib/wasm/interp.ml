@@ -13,7 +13,7 @@ type run_result =
   | R_trap of string
   | R_exit of int
 
-let jump (m : machine) (j : Code.jump) =
+let jump (m : machine) (fr : frame) (j : Code.jump) =
   let { Code.target; arity; drop } = j in
   if drop > 0 then begin
     for i = 0 to arity - 1 do
@@ -21,23 +21,21 @@ let jump (m : machine) (j : Code.jump) =
     done;
     m.sp <- m.sp - drop
   end;
-  (match m.frames with
-  | fr :: _ -> fr.fr_pc <- target
-  | [] -> trap "branch with no frame")
+  fr.fr_pc <- target
 
-(* Pop the current frame, preserving [n] results from the stack top. *)
+(* Pop the current frame, preserving [fc_arity] results from the stack
+   top. The frame record stays in the machine's frame array for reuse by
+   the next call at this depth. *)
 let pop_frame (m : machine) =
   (match m.prof_hook with Some h -> h m | None -> ());
-  match m.frames with
-  | [] -> trap "return with no frame"
-  | fr :: rest ->
-      let n = List.length fr.fr_code.Code.fc_type.results in
-      for i = 0 to n - 1 do
-        m.stack.(fr.fr_ret_sp + i) <- m.stack.(m.sp - n + i)
-      done;
-      m.sp <- fr.fr_ret_sp + n;
-      m.frames <- rest;
-      m.depth <- m.depth - 1
+  if m.depth = 0 then trap "return with no frame";
+  let fr = m.frames.(m.depth - 1) in
+  let n = fr.fr_code.Code.fc_arity in
+  for i = 0 to n - 1 do
+    m.stack.(fr.fr_ret_sp + i) <- m.stack.(m.sp - n + i)
+  done;
+  m.sp <- fr.fr_ret_sp + n;
+  m.depth <- m.depth - 1
 
 let addr_of (m : machine) offset =
   let a = Machine.pop m in
@@ -282,14 +280,14 @@ let rec run_machine ?(stop_depth = 0) (m0 : machine) ~(results : int) :
     mch.steps <- Int64.add mch.steps 1L;
     match op with
     | Code.K_unreachable -> trap "unreachable executed"
-    | Code.K_br j -> jump mch j
+    | Code.K_br j -> jump mch fr j
     | Code.K_br_if j ->
         let c = as_i32 (Machine.pop mch) in
-        if c <> 0l then jump mch j
+        if c <> 0l then jump mch fr j
     | Code.K_br_table (js, dj) ->
         let i = Int32.to_int (as_i32 (Machine.pop mch)) land 0xFFFFFFFF in
         let j = if i >= 0 && i < Array.length js then js.(i) else dj in
-        jump mch j
+        jump mch fr j
     | Code.K_return -> pop_frame mch
     | Code.K_call fi -> (
         match fr.fr_inst.i_funcs.(fi) with
@@ -398,6 +396,142 @@ let rec run_machine ?(stop_depth = 0) (m0 : machine) ~(results : int) :
     | Code.K_cvt c -> Machine.push mch (exec_cvt c (Machine.pop mch))
     | Code.K_poll -> (
         match mch.poll_hook with Some f -> f mch | None -> ())
+    (* Superinstructions: dedicated handlers that read/write stack slots
+       and locals directly instead of going through Machine.push/pop.
+       Each charges [op_width - 1] extra steps *before* any trap can
+       fire, so instruction counts (and trap-time counts) are identical
+       to the unfused engine. *)
+    | Code.F_ll_i32_binop (a, b, o) ->
+        mch.steps <- Int64.add mch.steps 2L;
+        mch.fused <- Int64.add mch.fused 1L;
+        Machine.push mch
+          (I32 (exec_i32_binop o (as_i32 fr.fr_locals.(a)) (as_i32 fr.fr_locals.(b))))
+    | Code.F_ll_i32_binop_set (a, b, o, d) ->
+        mch.steps <- Int64.add mch.steps 3L;
+        mch.fused <- Int64.add mch.fused 1L;
+        fr.fr_locals.(d) <-
+          I32 (exec_i32_binop o (as_i32 fr.fr_locals.(a)) (as_i32 fr.fr_locals.(b)))
+    | Code.F_lc_i32_binop (a, c, o) ->
+        mch.steps <- Int64.add mch.steps 2L;
+        mch.fused <- Int64.add mch.fused 1L;
+        Machine.push mch (I32 (exec_i32_binop o (as_i32 fr.fr_locals.(a)) c))
+    | Code.F_lc_i32_binop_set (a, c, o, d) ->
+        mch.steps <- Int64.add mch.steps 3L;
+        mch.fused <- Int64.add mch.fused 1L;
+        fr.fr_locals.(d) <- I32 (exec_i32_binop o (as_i32 fr.fr_locals.(a)) c)
+    | Code.F_const_i32_binop (c, o) ->
+        mch.steps <- Int64.add mch.steps 1L;
+        mch.fused <- Int64.add mch.fused 1L;
+        let t = mch.sp - 1 in
+        mch.stack.(t) <- I32 (exec_i32_binop o (as_i32 mch.stack.(t)) c)
+    | Code.F_i32_binop_set (o, d) ->
+        mch.steps <- Int64.add mch.steps 1L;
+        mch.fused <- Int64.add mch.fused 1L;
+        let b = as_i32 mch.stack.(mch.sp - 1) in
+        let a = as_i32 mch.stack.(mch.sp - 2) in
+        mch.sp <- mch.sp - 2;
+        fr.fr_locals.(d) <- I32 (exec_i32_binop o a b)
+    | Code.F_local_load (a, kind, off) ->
+        mch.steps <- Int64.add mch.steps 1L;
+        mch.fused <- Int64.add mch.fused 1L;
+        let mem = fr.fr_inst.i_memories.(0) in
+        let addr = (Int32.to_int (as_i32 fr.fr_locals.(a)) land 0xFFFFFFFF) + off in
+        (try exec_load mch mem kind addr
+         with Memory.Bounds -> trap "out of bounds memory access at %d" addr)
+    | Code.F_i32_relop_br_if (o, j) ->
+        mch.steps <- Int64.add mch.steps 1L;
+        mch.fused <- Int64.add mch.fused 1L;
+        let b = as_i32 mch.stack.(mch.sp - 1) in
+        let a = as_i32 mch.stack.(mch.sp - 2) in
+        mch.sp <- mch.sp - 2;
+        if exec_i32_relop o a b then jump mch fr j
+    | Code.F_ll_i32_relop_br_if (a, b, o, j) ->
+        mch.steps <- Int64.add mch.steps 3L;
+        mch.fused <- Int64.add mch.fused 1L;
+        if exec_i32_relop o (as_i32 fr.fr_locals.(a)) (as_i32 fr.fr_locals.(b))
+        then jump mch fr j
+    | Code.F_lc_i32_relop_br_if (a, c, o, j) ->
+        mch.steps <- Int64.add mch.steps 3L;
+        mch.fused <- Int64.add mch.fused 1L;
+        if exec_i32_relop o (as_i32 fr.fr_locals.(a)) c then jump mch fr j
+    | Code.F_lc_store (a, v, kind, off) ->
+        mch.steps <- Int64.add mch.steps 2L;
+        mch.fused <- Int64.add mch.fused 1L;
+        let mem = fr.fr_inst.i_memories.(0) in
+        let addr = (Int32.to_int (as_i32 fr.fr_locals.(a)) land 0xFFFFFFFF) + off in
+        (try exec_store mem kind addr v
+         with Memory.Bounds -> trap "out of bounds memory access at %d" addr)
+    | Code.F_i32_eqz_br_if j ->
+        mch.steps <- Int64.add mch.steps 1L;
+        mch.fused <- Int64.add mch.fused 1L;
+        if as_i32 (Machine.pop mch) = 0l then jump mch fr j
+    | Code.F_i32_relop_eqz_br_if (o, j) ->
+        mch.steps <- Int64.add mch.steps 2L;
+        mch.fused <- Int64.add mch.fused 1L;
+        let b = as_i32 mch.stack.(mch.sp - 1) in
+        let a = as_i32 mch.stack.(mch.sp - 2) in
+        mch.sp <- mch.sp - 2;
+        if not (exec_i32_relop o a b) then jump mch fr j
+    | Code.F_ll_i32_relop_eqz_br_if (a, b, o, j) ->
+        mch.steps <- Int64.add mch.steps 4L;
+        mch.fused <- Int64.add mch.fused 1L;
+        if not (exec_i32_relop o (as_i32 fr.fr_locals.(a)) (as_i32 fr.fr_locals.(b)))
+        then jump mch fr j
+    | Code.F_lc_i32_relop_eqz_br_if (a, c, o, j) ->
+        mch.steps <- Int64.add mch.steps 4L;
+        mch.fused <- Int64.add mch.fused 1L;
+        if not (exec_i32_relop o (as_i32 fr.fr_locals.(a)) c) then jump mch fr j
+    | Code.F_l_i32_binop (b, o) ->
+        mch.steps <- Int64.add mch.steps 1L;
+        mch.fused <- Int64.add mch.fused 1L;
+        let t = mch.sp - 1 in
+        mch.stack.(t) <-
+          I32 (exec_i32_binop o (as_i32 mch.stack.(t)) (as_i32 fr.fr_locals.(b)))
+    | Code.F_i32_binop_load (o, kind, off) ->
+        mch.steps <- Int64.add mch.steps 1L;
+        mch.fused <- Int64.add mch.fused 1L;
+        let b = as_i32 mch.stack.(mch.sp - 1) in
+        let a = as_i32 mch.stack.(mch.sp - 2) in
+        mch.sp <- mch.sp - 2;
+        let mem = fr.fr_inst.i_memories.(0) in
+        let addr = (Int32.to_int (exec_i32_binop o a b) land 0xFFFFFFFF) + off in
+        (try exec_load mch mem kind addr
+         with Memory.Bounds -> trap "out of bounds memory access at %d" addr)
+    | Code.F_i32_binop_binop (o1, o2) ->
+        mch.steps <- Int64.add mch.steps 1L;
+        mch.fused <- Int64.add mch.fused 1L;
+        let z = as_i32 mch.stack.(mch.sp - 1) in
+        let y = as_i32 mch.stack.(mch.sp - 2) in
+        let x = as_i32 mch.stack.(mch.sp - 3) in
+        mch.sp <- mch.sp - 2;
+        mch.stack.(mch.sp - 1) <- I32 (exec_i32_binop o2 x (exec_i32_binop o1 y z))
+    | Code.F_i32_binop_store (o, kind, off) ->
+        mch.steps <- Int64.add mch.steps 1L;
+        mch.fused <- Int64.add mch.fused 1L;
+        let y = as_i32 mch.stack.(mch.sp - 1) in
+        let x = as_i32 mch.stack.(mch.sp - 2) in
+        let a = mch.stack.(mch.sp - 3) in
+        mch.sp <- mch.sp - 3;
+        let mem = fr.fr_inst.i_memories.(0) in
+        let addr = (Int32.to_int (as_i32 a) land 0xFFFFFFFF) + off in
+        (try exec_store mem kind addr (I32 (exec_i32_binop o x y))
+         with Memory.Bounds -> trap "out of bounds memory access at %d" addr)
+    | Code.F_l_store (v, kind, off) ->
+        mch.steps <- Int64.add mch.steps 1L;
+        mch.fused <- Int64.add mch.fused 1L;
+        let mem = fr.fr_inst.i_memories.(0) in
+        let addr = addr_of mch off in
+        (try exec_store mem kind addr fr.fr_locals.(v)
+         with Memory.Bounds -> trap "out of bounds memory access at %d" addr)
+    | Code.F_set_get i ->
+        mch.steps <- Int64.add mch.steps 1L;
+        mch.fused <- Int64.add mch.fused 1L;
+        fr.fr_locals.(i) <- Machine.peek mch
+    | Code.F_i32_eqz_eqz ->
+        mch.steps <- Int64.add mch.steps 1L;
+        mch.fused <- Int64.add mch.fused 1L;
+        let t = mch.sp - 1 in
+        mch.stack.(t) <- i32_of_bool (as_i32 mch.stack.(t) <> 0l)
   in
   try
     let rec loop () =
@@ -409,14 +543,11 @@ let rec run_machine ?(stop_depth = 0) (m0 : machine) ~(results : int) :
         done;
         R_done !vs
       end
-      else
-        match !m.frames with
-        | [] ->
-            (* depth out of sync can only mean internal corruption *)
-            R_trap "frame stack underflow"
-        | fr :: _ ->
-            step fr;
-            loop ()
+      else begin
+        let mch = !m in
+        step mch.frames.(mch.depth - 1);
+        loop ()
+      end
     in
     loop ()
   with
@@ -443,7 +574,7 @@ and call_nested (m : machine) (f : func_inst) (args : value list) : run_result =
 
 (** Invoke [f] on a fresh entry in machine [m] (frames must be empty). *)
 let invoke (m : machine) (f : func_inst) (args : value list) : run_result =
-  assert (m.frames = []);
+  assert (m.depth = 0);
   let ft = func_type_of f in
   List.iter (Machine.push m) args;
   match f with

@@ -159,20 +159,24 @@ and host_outcome =
   | H_exec of (unit -> machine) (* replace the process image *)
 
 and frame = {
-  fr_inst : instance;
-  fr_code : Code.fcode;
-  fr_locals : value array;
+  (* All fields mutable: the machine keeps a growable array of frame
+     records that are reused in place across calls/returns, so a call
+     allocates neither a list cell nor (usually) a locals array. *)
+  mutable fr_inst : instance;
+  mutable fr_code : Code.fcode;
+  mutable fr_locals : value array;
   mutable fr_pc : int;
-  fr_ret_sp : int; (* value-stack height to restore on return *)
+  mutable fr_ret_sp : int; (* value-stack height to restore on return *)
 }
 
 and machine = {
   mutable stack : value array;
   mutable sp : int;
-  mutable frames : frame list;
-  mutable depth : int; (* = List.length frames, kept incrementally *)
+  mutable frames : frame array; (* slots 0..depth-1 live; top = depth-1 *)
+  mutable depth : int; (* live frame count *)
   mutable m_inst : instance; (* root instance (the process image) *)
   mutable steps : int64; (* executed ops, for deterministic metrics *)
+  mutable fused : int64; (* superinstruction dispatches (fusion coverage) *)
   mutable poll_hook : (machine -> unit) option;
   mutable prof_hook : (machine -> unit) option;
       (* profiler sample hook, fired on frame push/pop before the frame
@@ -191,14 +195,43 @@ let func_name_of = function
 module Machine = struct
   type t = machine
 
+  (* Placeholder contents for not-yet-used frame slots. Never executed:
+     the interpreter only reads frames below [depth]. *)
+  let null_inst : instance =
+    {
+      i_name = "";
+      i_types = [||];
+      i_funcs = [||];
+      i_memories = [||];
+      i_tables = [||];
+      i_globals = [||];
+      i_exports = Hashtbl.create 1;
+      i_codes = [||];
+    }
+
+  let null_code : Code.fcode =
+    {
+      Code.fc_name = "";
+      fc_type = { params = []; results = [] };
+      fc_arity = 0;
+      fc_nparams = 0;
+      fc_locals = [||];
+      fc_ops = [||];
+    }
+
+  let null_frame () =
+    { fr_inst = null_inst; fr_code = null_code; fr_locals = [||]; fr_pc = 0;
+      fr_ret_sp = 0 }
+
   let create inst =
     {
       stack = Array.make 256 (I32 0l);
       sp = 0;
-      frames = [];
+      frames = Array.init 16 (fun _ -> null_frame ());
       depth = 0;
       m_inst = inst;
       steps = 0L;
+      fused = 0L;
       poll_hook = None;
       prof_hook = None;
       m_pid = 0;
@@ -222,13 +255,29 @@ module Machine = struct
     if m.sp = 0 then trap "value stack underflow";
     m.stack.(m.sp - 1)
 
+  let top_frame m = m.frames.(m.depth - 1)
+
+  let grow_frames m =
+    let old = m.frames in
+    let n = Array.length old in
+    m.frames <-
+      Array.init (2 * n) (fun i -> if i < n then old.(i) else null_frame ())
+
   (** Push a call frame for [code] whose arguments are the top
-      [n_params] values of the stack. *)
+      [n_params] values of the stack. The frame record (and its locals
+      array, when large enough) is reused from a previous call at the
+      same depth — every local up to [nlocals] is initialized below, so
+      stale values are never observable. *)
   let push_frame m inst (code : Code.fcode) =
     (match m.prof_hook with Some h -> h m | None -> ());
-    let nparams = List.length code.Code.fc_type.params in
+    let nparams = code.Code.fc_nparams in
     let nlocals = Array.length code.Code.fc_locals in
-    let locals = Array.make (max nlocals 1) (I32 0l) in
+    if m.depth = Array.length m.frames then grow_frames m;
+    let fr = m.frames.(m.depth) in
+    let locals =
+      if Array.length fr.fr_locals >= max nlocals 1 then fr.fr_locals
+      else Array.make (max nlocals 4) (I32 0l)
+    in
     for i = 0 to nlocals - 1 do
       locals.(i) <- Values.default_of code.Code.fc_locals.(i)
     done;
@@ -237,10 +286,11 @@ module Machine = struct
       locals.(i) <- m.stack.(m.sp - nparams + i)
     done;
     m.sp <- m.sp - nparams;
-    m.frames <-
-      { fr_inst = inst; fr_code = code; fr_locals = locals; fr_pc = 0;
-        fr_ret_sp = m.sp }
-      :: m.frames;
+    fr.fr_inst <- inst;
+    fr.fr_code <- code;
+    fr.fr_locals <- locals;
+    fr.fr_pc <- 0;
+    fr.fr_ret_sp <- m.sp;
     m.depth <- m.depth + 1
 
   (** Deep-copy: new stack, new frames with copied locals; memories of the
@@ -306,15 +356,21 @@ module Machine = struct
           i'
     in
     let root = clone_inst m.m_inst in
+    (* Live frames get fresh records and locals (the child must not see
+       parent mutations); spare slots get fresh placeholders so the two
+       machines never share a reusable frame record. *)
     let frames =
-      List.map
-        (fun fr ->
-          {
-            fr with
-            fr_inst = clone_inst fr.fr_inst;
-            fr_locals = Array.copy fr.fr_locals;
-          })
-        m.frames
+      Array.init (Array.length m.frames) (fun i ->
+          if i < m.depth then
+            let fr = m.frames.(i) in
+            {
+              fr_inst = clone_inst fr.fr_inst;
+              fr_code = fr.fr_code;
+              fr_locals = Array.copy fr.fr_locals;
+              fr_pc = fr.fr_pc;
+              fr_ret_sp = fr.fr_ret_sp;
+            }
+          else null_frame ())
     in
     {
       stack = Array.copy m.stack;
@@ -323,6 +379,7 @@ module Machine = struct
       depth = m.depth;
       m_inst = root;
       steps = m.steps;
+      fused = m.fused;
       poll_hook = m.poll_hook;
       prof_hook = m.prof_hook;
       m_pid = m.m_pid;

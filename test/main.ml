@@ -2,6 +2,7 @@ let () =
   Alcotest.run "wali-repro"
     [
       ("wasm", Test_wasm.tests);
+      ("fusion", Test_fusion.tests);
       ("fiber", Test_fiber.tests);
       ("kernel", Test_kernel.tests);
       ("wali-basic", Test_wali_basic.tests);
